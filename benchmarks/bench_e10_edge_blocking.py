@@ -1,0 +1,22 @@
+"""E10 — edge blocking sets on the lower-bound graph (the EFT limitation).
+
+Regenerates the E10 table of EXPERIMENTS.md.  The assertions check the closing
+remark of Section 2 on every instance: the explicitly constructed edge
+blocking set has at most ``f · |E|`` pairs and blocks every cycle on at most
+``k + 1`` edges (verified against exhaustive short-cycle enumeration).
+"""
+
+import pytest
+
+from repro.experiments import e10_edge_blocking
+
+
+@pytest.mark.benchmark(group="E10")
+def test_e10_edge_blocking(benchmark, experiment_bench):
+    config = e10_edge_blocking.Config.quick()
+    table = experiment_bench(e10_edge_blocking, config)
+    assert len(table) == len(config.cases)
+    for row in table.rows:
+        assert row["within_bound"]
+        assert row["verified"] in ("ok", "skipped")
+    assert any(row["verified"] == "ok" for row in table.rows)

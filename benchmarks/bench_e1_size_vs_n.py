@@ -1,0 +1,21 @@
+"""E1 — spanner size vs n (Corollary 2 growth in n).
+
+Regenerates the E1 table of EXPERIMENTS.md: FT greedy spanner sizes on
+``G(n, m)`` graphs of growing ``n``, compared against the
+``n^{1+1/k} f^{1-1/k}`` curve.  The assertions encode the claim's *shape*: the
+size/bound ratio stays bounded and the fitted log–log slope is far below 2
+(the trivial bound's slope).
+"""
+
+import pytest
+
+from repro.experiments import e1_size_vs_n
+
+
+@pytest.mark.benchmark(group="E1")
+def test_e1_size_vs_n(benchmark, experiment_bench):
+    config = e1_size_vs_n.Config.quick()
+    table = experiment_bench(e1_size_vs_n, config)
+    assert len(table) == len(config.sizes) * len(config.fault_budgets)
+    assert all(ratio < 3.0 for ratio in table.column("ratio"))
+    assert all(slope < 1.9 for slope in table.column("fitted_slope"))

@@ -1,0 +1,23 @@
+"""E2 — spanner size vs fault budget f (Corollary 2 sublinear growth in f).
+
+Regenerates the E2 table of EXPERIMENTS.md.  The assertions check that the
+size grows monotonically but strictly sublinearly in ``f`` (going from
+``f = 1`` to ``f = 3`` costs far less than 3x), which is the qualitative
+content of the ``f^{1-1/k}`` factor.
+"""
+
+import pytest
+
+from repro.experiments import e2_size_vs_f
+
+
+@pytest.mark.benchmark(group="E2")
+def test_e2_size_vs_f(benchmark, experiment_bench):
+    config = e2_size_vs_f.Config.quick()
+    table = experiment_bench(e2_size_vs_f, config)
+    sizes = table.column("spanner_edges")
+    budgets = table.column("f")
+    assert sizes == sorted(sizes)
+    size_by_f = dict(zip(budgets, sizes))
+    if 1 in size_by_f and 3 in size_by_f:
+        assert size_by_f[3] < 2.5 * size_by_f[1]

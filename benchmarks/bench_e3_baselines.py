@@ -1,0 +1,25 @@
+"""E3 — FT greedy versus prior constructions (the paper's headline comparison).
+
+Regenerates the E3 table of EXPERIMENTS.md.  The assertions encode "who wins":
+the FT greedy spanner is at most as large as the peeling union, strictly
+smaller than the sampling union and the trivial spanner, and passes the
+sampled fault-tolerance check, while the non-FT greedy floor is smaller still.
+"""
+
+import pytest
+
+from repro.experiments import e3_vs_baselines
+
+
+@pytest.mark.benchmark(group="E3")
+def test_e3_vs_baselines(benchmark, experiment_bench):
+    config = e3_vs_baselines.Config.quick()
+    table = experiment_bench(e3_vs_baselines, config)
+    for f in config.fault_budgets:
+        rows = {row["algorithm"]: row for row in table.rows if row["f"] == f}
+        ft = rows["ft-greedy"]["spanner_edges"]
+        assert ft <= rows["peeling-union"]["spanner_edges"]
+        assert ft < rows["sampling-union"]["spanner_edges"]
+        assert ft < rows["trivial"]["spanner_edges"]
+        assert rows["greedy (f=0)"]["spanner_edges"] <= ft
+        assert rows["ft-greedy"]["ft_check"] == "ok"

@@ -1,0 +1,22 @@
+"""E4 — the BDPW lower-bound instances: Theorem 1 is tight for vertex faults.
+
+Regenerates the E4 table of EXPERIMENTS.md.  The assertions check that every
+sampled edge of each blow-up instance is provably forced (forced fraction 1.0)
+and that the FT greedy algorithm keeps all of them, i.e. the upper bound is
+met by a matching family of instances.
+"""
+
+import pytest
+
+from repro.experiments import e4_lower_bound
+
+
+@pytest.mark.benchmark(group="E4")
+def test_e4_lower_bound(benchmark, experiment_bench):
+    config = e4_lower_bound.Config.quick()
+    table = experiment_bench(e4_lower_bound, config)
+    assert len(table) == len(config.cases)
+    for row in table.rows:
+        assert row["forced_fraction"] == 1.0
+        assert row["greedy_keeps"] == row["edges"]
+        assert row["edges_over_theorem1"] <= 1.0

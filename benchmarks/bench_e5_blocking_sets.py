@@ -1,0 +1,23 @@
+"""E5 — Lemma 3: blocking sets extracted from FT greedy runs.
+
+Regenerates the E5 table of EXPERIMENTS.md.  The assertions check the lemma's
+two claims on every row: the extracted blocking set has at most ``f · |E(H)|``
+pairs, and (where the exhaustive cycle oracle ran) it really blocks every
+cycle on at most ``k + 1`` edges.
+"""
+
+import pytest
+
+from repro.experiments import e5_blocking_sets
+
+
+@pytest.mark.benchmark(group="E5")
+def test_e5_blocking_sets(benchmark, experiment_bench):
+    config = e5_blocking_sets.Config.quick()
+    table = experiment_bench(e5_blocking_sets, config)
+    assert len(table) == len(config.workloads) * len(config.fault_budgets)
+    for row in table.rows:
+        assert row["within_bound"]
+        assert row["verified"] in ("ok", "skipped")
+        assert row["pairs_per_edge"] <= row["f"]
+    assert any(row["verified"] == "ok" for row in table.rows)

@@ -1,0 +1,24 @@
+"""E6 — Lemma 4: subsampling blocked graphs down to high-girth subgraphs.
+
+Regenerates the E6 table of EXPERIMENTS.md.  The assertions check that at the
+lemma's prescribed sample size (multiplier 1.0) the pruned subgraph always has
+girth ``> k + 1``, and that the best-of-trials edge count is positive whenever
+the lemma's expectation bound is (the Ω(m/f²) part, up to the sampling noise
+recorded in the table).
+"""
+
+import pytest
+
+from repro.experiments import e6_subsampling
+
+
+@pytest.mark.benchmark(group="E6")
+def test_e6_subsample(benchmark, experiment_bench):
+    config = e6_subsampling.Config.quick()
+    table = experiment_bench(e6_subsampling, config)
+    prescribed = [row for row in table.rows if row["sample_multiplier"] == 1.0]
+    assert prescribed
+    for row in prescribed:
+        assert row["girth_ok"]
+        if row["expected_lb"] > 1:
+            assert row["surviving_edges"] > 0

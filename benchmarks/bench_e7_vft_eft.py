@@ -1,0 +1,21 @@
+"""E7 — vertex faults versus edge faults under the same greedy algorithm.
+
+Regenerates the E7 table of EXPERIMENTS.md.  The assertions check the
+qualitative relationship the paper discusses: the EFT output never exceeds the
+VFT output on the same instance, and both dominate the non-FT greedy floor.
+"""
+
+import pytest
+
+from repro.experiments import e7_vft_vs_eft
+
+
+@pytest.mark.benchmark(group="E7")
+def test_e7_vft_vs_eft(benchmark, experiment_bench):
+    config = e7_vft_vs_eft.Config.quick()
+    table = experiment_bench(e7_vft_vs_eft, config)
+    assert len(table) == len(config.workloads) * len(config.fault_budgets)
+    for row in table.rows:
+        assert row["eft_edges"] <= row["vft_edges"]
+        assert row["greedy_f0"] <= row["eft_edges"]
+        assert row["vft_edges"] <= row["m"]

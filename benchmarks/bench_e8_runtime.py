@@ -1,0 +1,32 @@
+"""E8 — fault-check oracle runtime (the paper's open problem, and our ablation).
+
+Regenerates the E8 table of EXPERIMENTS.md.  The assertions check that the
+exhaustive oracle needs at least as many bounded-distance queries as the
+branch-and-bound oracle while producing the same spanner, and that the
+polynomial heuristic is cheapest — the speed/exactness trade-off the paper's
+open question is about.
+"""
+
+import pytest
+
+from repro.experiments import e8_runtime
+
+
+@pytest.mark.benchmark(group="E8")
+def test_e8_runtime(benchmark, experiment_bench):
+    config = e8_runtime.Config.quick()
+    table = experiment_bench(e8_runtime, config)
+    by_key = {(row["f"], row["oracle"]): row for row in table.rows}
+
+    # At f = 1 all three oracles ran: exhaustive >= branch-and-bound in work,
+    # and both exact oracles agree on the spanner size.
+    exhaustive = by_key[(1, "exhaustive")]
+    bnb = by_key[(1, "branch-and-bound")]
+    assert exhaustive["distance_queries"] >= bnb["distance_queries"]
+    assert exhaustive["spanner_edges"] == bnb["spanner_edges"]
+
+    for f in config.fault_budgets:
+        exact_row = by_key[(f, "branch-and-bound")]
+        heuristic_row = by_key[(f, "greedy-path-packing")]
+        assert heuristic_row["distance_queries"] <= exact_row["distance_queries"]
+        assert exact_row["ft_check"] == "ok"

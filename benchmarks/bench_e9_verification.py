@@ -1,0 +1,22 @@
+"""E9 — fault-tolerance verification: Definition 2 holds, and matters.
+
+Regenerates the E9 table of EXPERIMENTS.md.  The assertions check both
+directions of the story: every FT greedy row stays within the required
+stretch under all checked fault sets, and every non-FT greedy row is broken
+by some fault set (usually disconnecting a pair entirely).
+"""
+
+import pytest
+
+from repro.experiments import e9_fault_verification
+
+
+@pytest.mark.benchmark(group="E9")
+def test_e9_verification(benchmark, experiment_bench):
+    config = e9_fault_verification.Config.quick()
+    table = experiment_bench(e9_fault_verification, config)
+    for row in table.rows:
+        if row["algorithm"] == "ft-greedy":
+            assert row["within_stretch"]
+        else:
+            assert not row["within_stretch"]

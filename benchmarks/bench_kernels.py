@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the library's inner kernels.
+
+Not tied to a specific experiment table; these track the primitives whose
+performance determines every experiment's wall clock: bounded Dijkstra,
+the branch-and-bound fault check, a full FT greedy construction, blocking-set
+extraction + Lemma 4 sampling, and girth computation.  Useful for spotting
+performance regressions when the library is modified.
+"""
+
+import pytest
+
+from repro.graph import generators
+from repro.paths.dijkstra import bounded_distance
+from repro.spanners.blocking import extract_blocking_set, lemma4_subsample
+from repro.spanners.fault_check import BranchAndBoundOracle
+from repro.spanners.ft_greedy import ft_greedy_spanner
+from repro.spanners.greedy import greedy_spanner
+from repro.graph.girth import girth
+
+
+@pytest.fixture(scope="module")
+def kernel_graph():
+    """A medium dense instance shared by the kernel benchmarks."""
+    return generators.gnm(80, 1200, rng=2024, connected=True)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bounded_dijkstra(benchmark, kernel_graph):
+    nodes = list(kernel_graph.nodes())
+    pairs = [(nodes[i], nodes[-1 - i]) for i in range(10)]
+
+    def run():
+        return [bounded_distance(kernel_graph, u, v, 3.0) for u, v in pairs]
+
+    results = benchmark(run)
+    assert len(results) == 10
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_fault_check_oracle(benchmark, kernel_graph):
+    oracle = BranchAndBoundOracle()
+    nodes = list(kernel_graph.nodes())
+    pairs = [(nodes[i], nodes[-1 - i]) for i in range(5)]
+
+    def run():
+        return [
+            oracle.find_breaking_fault_set(kernel_graph, u, v, 3.0, 2, "vertex")
+            for u, v in pairs
+        ]
+
+    results = benchmark(run)
+    assert len(results) == 5
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_greedy_construction(benchmark, kernel_graph):
+    result = benchmark(lambda: greedy_spanner(kernel_graph, 3))
+    assert result.size < kernel_graph.number_of_edges()
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_ft_greedy_construction(benchmark, kernel_graph):
+    holder = {}
+
+    def run():
+        holder["result"] = ft_greedy_spanner(kernel_graph, 3, 1)
+        return holder["result"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert holder["result"].size < kernel_graph.number_of_edges()
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_blocking_extraction_and_lemma4(benchmark, kernel_graph):
+    result = ft_greedy_spanner(kernel_graph, 3, 2)
+
+    def run():
+        blocking = extract_blocking_set(result)
+        return lemma4_subsample(result.spanner, blocking, 2, rng=0, trials=3)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_girth_computation(benchmark, kernel_graph):
+    spanner = greedy_spanner(kernel_graph, 3).spanner
+    value = benchmark(lambda: girth(spanner, cutoff=6))
+    assert value > 4

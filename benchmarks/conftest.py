@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_e*.py`` file regenerates one experiment table from DESIGN.md §4 /
+EXPERIMENTS.md.  Because a single experiment run already aggregates many
+construction runs, the ``experiment_bench`` fixture runs each driver under
+``benchmark.pedantic(..., rounds=1, iterations=1)``: the number reported is
+the wall-clock of one full experiment, and the experiment's own result table
+is printed so the rows can be compared against EXPERIMENTS.md directly.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import Table
+
+
+@pytest.fixture
+def experiment_bench(benchmark):
+    """Run one experiment driver under pytest-benchmark and print its table."""
+
+    def _run(experiment_module, config, *, rng=0) -> Table:
+        result_holder = {}
+
+        def target():
+            result_holder["table"] = experiment_module.run(config, rng=rng)
+            return result_holder["table"]
+
+        benchmark.pedantic(target, rounds=1, iterations=1)
+        table = result_holder["table"]
+        print()
+        print(table.to_ascii())
+        return table
+
+    return _run
+
+
+@pytest.fixture
+def print_table():
+    """Printer for auxiliary context tables produced by kernel benchmarks."""
+
+    def _printer(table: Table) -> None:
+        print()
+        print(table.to_ascii())
+
+    return _printer

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Designing a failure-resilient network backbone.
+
+Scenario: an operator has a dense mesh of possible links between 100 routers
+(a random geometric graph — links exist between physically close routers and
+their cost is the physical distance).  They want to *provision* only a subset
+of links (the backbone) such that
+
+* every route is at most 3x longer than in the full mesh, and
+* the guarantee survives any 2 simultaneous router failures.
+
+This is exactly an f=2 vertex-fault-tolerant 3-spanner.  The script compares
+the FT greedy backbone against the alternatives an operator might consider
+(provision everything; a non-fault-tolerant spanner; the sampling-union
+construction) on provisioned-link count, total cable length, and behaviour
+under simulated failures.
+
+Run with::
+
+    python examples/network_backbone.py
+"""
+
+from repro import (
+    ft_greedy_spanner,
+    generators,
+    greedy_spanner,
+    sampling_union_spanner,
+    trivial_spanner,
+)
+from repro.faults.adversarial import random_fault_trial
+from repro.utils.rng import RandomSource
+from repro.utils.tables import Table
+
+STRETCH = 3
+FAULTS = 2
+
+
+def simulate_failures(graph, spanner, trials, rng):
+    """Worst stretch seen over ``trials`` random 2-router failures."""
+    stretches = random_fault_trial(graph, spanner, "vertex", FAULTS, trials, rng=rng)
+    return max(stretches)
+
+
+def main() -> None:
+    rng = RandomSource(7)
+    mesh = generators.random_geometric(100, 0.25, rng=rng.spawn("mesh"))
+    print(f"candidate mesh: {mesh.number_of_nodes()} routers, "
+          f"{mesh.number_of_edges()} possible links, "
+          f"total length {mesh.total_weight():.1f}")
+
+    designs = {
+        "provision everything": trivial_spanner(mesh, STRETCH, FAULTS),
+        "plain 3-spanner": greedy_spanner(mesh, STRETCH),
+        "sampling-union (f=2)": sampling_union_spanner(
+            mesh, STRETCH, FAULTS, rng=rng.spawn("sampling"), max_samples=150),
+        "FT greedy (f=2)": ft_greedy_spanner(mesh, STRETCH, FAULTS),
+    }
+
+    table = Table(
+        columns=["design", "links", "cable_length", "cost_vs_full",
+                 "worst_stretch_50_failures"],
+        title=f"Backbone designs (stretch <= {STRETCH}, {FAULTS} router failures)",
+    )
+    for name, result in designs.items():
+        worst = simulate_failures(mesh, result.spanner, trials=50,
+                                  rng=rng.spawn("failures", name))
+        table.add_row({
+            "design": name,
+            "links": result.size,
+            "cable_length": result.spanner.total_weight(),
+            "cost_vs_full": result.spanner.total_weight() / mesh.total_weight(),
+            "worst_stretch_50_failures": worst,
+        })
+
+    print()
+    print(table.to_ascii())
+    ft_row = [row for row in table.rows if row["design"] == "FT greedy (f=2)"][0]
+    plain_row = [row for row in table.rows if row["design"] == "plain 3-spanner"][0]
+    print(
+        f"\nThe FT greedy backbone provisions {ft_row['links']} links "
+        f"({ft_row['cost_vs_full']:.0%} of the full mesh cost) and kept every "
+        f"simulated routing detour within {ft_row['worst_stretch_50_failures']:.2f}x; "
+        f"the non-fault-tolerant spanner reached "
+        f"{plain_row['worst_stretch_50_failures']:.2f}x."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Road-network resilience: which road segments must be kept plowed/maintained?
+
+Scenario: a county road department can only guarantee winter maintenance
+(plowing, repairs) on a subset of road segments, but wants that whenever up to
+``f`` intersections are blocked (accidents, construction), every trip on the
+maintained subnetwork is at most ``k`` times longer than it would be on the
+full network with the same blockages.
+
+The full network is a weighted random geometric graph (edge weight = segment
+length).  The script builds maintained subnetworks for fault budgets 0, 1, 2
+under both fault models (blocked intersections = vertex faults, blocked
+segments = edge faults), prices them by total maintained length, and then
+stress-tests *every* design under the same two simultaneous closures — random
+and adversarially chosen — so the value of designing for faults is visible.
+
+Run with::
+
+    python examples/road_network_resilience.py
+"""
+
+import math
+
+from repro import eft_greedy_spanner, generators, vft_greedy_spanner
+from repro.faults.adversarial import random_fault_trial, worst_case_fault_set
+from repro.utils.rng import RandomSource
+from repro.utils.tables import Table
+
+STRETCH = 3
+STRESS_CLOSURES = 2  # every design is stress-tested under 2 closures
+
+
+def fmt_stretch(value: float) -> str:
+    return "disconnected" if math.isinf(value) else f"{value:.2f}x"
+
+
+def main() -> None:
+    rng = RandomSource(11)
+    roads = generators.random_geometric(120, 0.2, rng=rng.spawn("roads"))
+    print(f"road network: {roads.number_of_nodes()} intersections, "
+          f"{roads.number_of_edges()} segments, "
+          f"total length {roads.total_weight():.2f}")
+
+    table = Table(
+        columns=["designed for", "fault model", "segments", "length_vs_full",
+                 "stress: worst random", "stress: adversarial"],
+        title=(f"Maintained subnetworks (target stretch <= {STRETCH}); every design "
+               f"stress-tested under {STRESS_CLOSURES} closures"),
+    )
+
+    summaries = {}
+    for faults in (0, 1, 2):
+        for model_name, builder, fault_model in (
+            ("intersections", vft_greedy_spanner, "vertex"),
+            ("segments", eft_greedy_spanner, "edge"),
+        ):
+            result = builder(roads, STRETCH, faults)
+            random_worst = max(random_fault_trial(
+                roads, result.spanner, fault_model, STRESS_CLOSURES, trials=40,
+                rng=rng.spawn("random", faults, model_name)))
+            _, adversarial = worst_case_fault_set(
+                roads, result.spanner, fault_model, STRESS_CLOSURES,
+                method="sampled", samples=80, rng=rng.spawn("adv", faults, model_name))
+            table.add_row({
+                "designed for": f"f={faults}",
+                "fault model": model_name,
+                "segments": result.size,
+                "length_vs_full": result.spanner.total_weight() / roads.total_weight(),
+                "stress: worst random": fmt_stretch(random_worst),
+                "stress: adversarial": fmt_stretch(max(random_worst, adversarial)),
+            })
+            summaries[(faults, model_name)] = (result, max(random_worst, adversarial))
+
+    print()
+    print(table.to_ascii())
+
+    unprotected, unprotected_worst = summaries[(0, "intersections")]
+    protected, protected_worst = summaries[(2, "intersections")]
+    print(
+        f"\nDesigning for zero faults maintains only "
+        f"{unprotected.spanner.total_weight() / roads.total_weight():.0%} of the road "
+        f"length, but two blocked intersections pushed some trip to "
+        f"{fmt_stretch(unprotected_worst)}.  The 2-fault-tolerant plan maintains "
+        f"{protected.spanner.total_weight() / roads.total_weight():.0%} of the length "
+        f"and stayed at {fmt_stretch(protected_worst)} under the same stress test."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e .``) in offline
+environments whose setuptools/pip combination cannot build PEP 660 editable
+wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

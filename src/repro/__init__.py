@@ -1,0 +1,83 @@
+"""Fault-tolerant graph spanners.
+
+A from-scratch reproduction of *"A Trivial Yet Optimal Solution to Vertex
+Fault Tolerant Spanners"* (Bodwin & Patel, PODC 2019): the fault-tolerant
+greedy spanner algorithm, the blocking-set machinery behind its optimal size
+analysis, the matching lower-bound construction, baseline constructions from
+prior work, and an experiment harness that validates every claim of the paper
+empirically.
+
+Quickstart
+----------
+>>> from repro import generators, ft_greedy_spanner, is_ft_spanner
+>>> graph = generators.gnm(40, 160, rng=0, connected=True)
+>>> result = ft_greedy_spanner(graph, stretch=3, max_faults=1)
+>>> result.size < graph.number_of_edges()
+True
+>>> bool(is_ft_spanner(graph, result.spanner, stretch=3, max_faults=1,
+...                    method="sampled", samples=25, rng=0))
+True
+
+The public API re-exported here is the stable surface; subpackages
+(:mod:`repro.graph`, :mod:`repro.spanners`, :mod:`repro.bounds`,
+:mod:`repro.baselines`, :mod:`repro.faults`, :mod:`repro.experiments`) expose
+the full machinery.
+"""
+
+from repro.graph import Graph, generators
+from repro.graph.convert import from_networkx, to_networkx
+from repro.spanners import (
+    SpannerResult,
+    greedy_spanner,
+    ft_greedy_spanner,
+    is_spanner,
+    is_ft_spanner,
+    stretch_of,
+    extract_blocking_set,
+    is_blocking_set,
+    lemma4_subsample,
+)
+from repro.spanners.ft_greedy import vft_greedy_spanner, eft_greedy_spanner
+from repro.baselines import (
+    trivial_spanner,
+    peeling_union_spanner,
+    sampling_union_spanner,
+)
+from repro.bounds import (
+    moore_bound,
+    theorem1_bound,
+    corollary2_bound,
+    bdpw_lower_bound_instance,
+)
+from repro.faults import VERTEX_FAULTS, EDGE_FAULTS, get_fault_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "generators",
+    "from_networkx",
+    "to_networkx",
+    "SpannerResult",
+    "greedy_spanner",
+    "ft_greedy_spanner",
+    "vft_greedy_spanner",
+    "eft_greedy_spanner",
+    "is_spanner",
+    "is_ft_spanner",
+    "stretch_of",
+    "extract_blocking_set",
+    "is_blocking_set",
+    "lemma4_subsample",
+    "trivial_spanner",
+    "peeling_union_spanner",
+    "sampling_union_spanner",
+    "moore_bound",
+    "theorem1_bound",
+    "corollary2_bound",
+    "bdpw_lower_bound_instance",
+    "VERTEX_FAULTS",
+    "EDGE_FAULTS",
+    "get_fault_model",
+    "__version__",
+]

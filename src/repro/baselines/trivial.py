@@ -1,0 +1,31 @@
+"""The trivial baseline: keep every edge.
+
+Vacuously an ``f``-fault-tolerant ``k``-spanner for every ``f`` and ``k``
+(``H \\ F = G \\ F``); its only purpose is to anchor the size comparisons — any
+construction worth reporting must beat ``m`` edges.
+"""
+
+from __future__ import annotations
+
+from repro.graph.core import Graph
+from repro.spanners.base import SpannerResult
+from repro.utils.timing import Timer
+
+
+def trivial_spanner(graph: Graph, stretch: float = 1.0,
+                    max_faults: int = 0, fault_model: str = "vertex") -> SpannerResult:
+    """Return the whole graph packaged as a :class:`SpannerResult`."""
+    timer = Timer("trivial").start()
+    spanner = graph.copy()
+    timer.stop()
+    return SpannerResult(
+        spanner=spanner,
+        original=graph,
+        stretch=stretch,
+        max_faults=max_faults,
+        fault_model=fault_model,
+        algorithm="trivial",
+        edges_considered=graph.number_of_edges(),
+        edges_added=spanner.number_of_edges(),
+        construction_seconds=timer.elapsed,
+    )

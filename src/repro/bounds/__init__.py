@@ -1,0 +1,51 @@
+"""Theoretical size bounds and the matching lower-bound construction.
+
+* :mod:`repro.bounds.moore` — the Moore bounds on ``b(n, k)``, the maximum
+  number of edges of an ``n``-node graph with girth ``> k``.
+* :mod:`repro.bounds.theoretical` — the size-bound formulas of this paper
+  (Theorem 1, Corollary 2) and of the prior work it improves on, as plain
+  functions so experiments can plot measured sizes against them.
+* :mod:`repro.bounds.lower_bound` — the Bodwin–Dinitz–Parter–Williams
+  lower-bound instance (high-girth graph blown up by a ``⌊f/2⌋``-copy
+  biclique) used by the paper both for optimality (Section 1) and for the
+  EFT limitation remark (Section 2), together with checkers that its edges
+  really are forced and that it carries a small edge blocking set.
+"""
+
+from repro.bounds.moore import moore_bound, max_edges_girth_greater, girth_edge_frontier
+from repro.bounds.theoretical import (
+    theorem1_bound,
+    corollary2_bound,
+    bdpw18_upper_bound,
+    dinitz_krauthgamer_bound,
+    clpr_bound,
+    trivial_bound,
+    non_ft_greedy_bound,
+    BOUND_FORMULAS,
+)
+from repro.bounds.lower_bound import (
+    vertex_blowup,
+    bdpw_lower_bound_instance,
+    LowerBoundInstance,
+    forced_edge_fraction,
+    edge_blocking_set_for_blowup,
+)
+
+__all__ = [
+    "moore_bound",
+    "max_edges_girth_greater",
+    "girth_edge_frontier",
+    "theorem1_bound",
+    "corollary2_bound",
+    "bdpw18_upper_bound",
+    "dinitz_krauthgamer_bound",
+    "clpr_bound",
+    "trivial_bound",
+    "non_ft_greedy_bound",
+    "BOUND_FORMULAS",
+    "vertex_blowup",
+    "bdpw_lower_bound_instance",
+    "LowerBoundInstance",
+    "forced_edge_fraction",
+    "edge_blocking_set_for_blowup",
+]

@@ -1,0 +1,123 @@
+"""The Moore bounds: how many edges can a graph of girth ``> k`` have?
+
+The paper states its main theorem in terms of ``b(n, k)``, the maximum number
+of edges of an ``n``-node graph with girth strictly greater than ``k``, and
+then instantiates it with the folklore Moore bounds
+``b(n, k) = O(n^{1 + 1/⌊k/2⌋})`` to obtain Corollary 2.  Determining ``b``
+exactly is a famous open problem (the Erdős girth conjecture posits the Moore
+bounds are tight), so this module provides:
+
+* :func:`moore_bound` — the asymptotic Moore-bound *formula* (with unit
+  constant), used as the reference curve in plots and in the Theorem 1 /
+  Corollary 2 bound functions;
+* :func:`max_edges_girth_greater` — small exact values computed by brute
+  force, used in tests to sanity-check the formula's shape;
+* :func:`girth_edge_frontier` — empirical frontier produced by the random
+  greedy high-girth generator, used by experiment E4 to show how close the
+  constructive instances get to the Moore curve.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional
+
+from repro.graph.core import Graph
+from repro.graph.girth import girth
+from repro.utils.rng import ensure_rng
+
+
+def moore_bound(n: float, k: int) -> float:
+    """Asymptotic Moore bound ``n^{1 + 1/⌊k/2⌋}`` on ``b(n, k)`` (unit constant).
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (real-valued so ``n/f`` can be passed directly).
+    k:
+        Girth threshold: the bound applies to graphs of girth ``> k``.
+
+    Notes
+    -----
+    For ``k < 2`` there is no cycle constraint at all and the bound is the
+    trivial ``n²`` (every graph has girth > 2 in the simple-graph sense only
+    when it has no multi-edges; girth > 2 is automatic, so ``b(n, 2)`` is
+    ``n(n-1)/2``).  The function returns ``n * (n - 1) / 2`` in that regime.
+    """
+    if n <= 0:
+        return 0.0
+    if k <= 2:
+        return n * (n - 1) / 2.0
+    exponent = 1.0 + 1.0 / math.floor(k / 2)
+    return float(n) ** exponent
+
+
+def max_edges_girth_greater(n: int, k: int, *, exact_limit: int = 6,
+                            rng=None, attempts: int = 200) -> int:
+    """``b(n, k)`` computed exactly for tiny ``n`` and lower-bounded heuristically otherwise.
+
+    For ``n <= exact_limit`` all graphs on ``n`` labelled vertices are
+    enumerated (the default limit of 6 keeps this at ``2^{15}`` candidate edge
+    sets, which is instant; raising it much further becomes very slow).  For
+    larger ``n`` the value returned is the best of ``attempts`` runs of the
+    random greedy high-girth generator — a *lower bound* on ``b(n, k)``, which
+    is what the experiments need (they compare measured spanner sizes against
+    achievable densities).
+    """
+    if n <= 1:
+        return 0
+    if k <= 2:
+        return n * (n - 1) // 2
+    if n <= exact_limit:
+        return _exact_extremal_edges(n, k)
+    from repro.graph.generators import high_girth_greedy
+
+    rng = ensure_rng(rng)
+    best = 0
+    for attempt in range(attempts):
+        candidate = high_girth_greedy(n, k, rng=rng.spawn("attempt", attempt))
+        best = max(best, candidate.number_of_edges())
+    return best
+
+
+def _exact_extremal_edges(n: int, k: int) -> int:
+    """Exact ``b(n, k)`` by exhaustive search over edge subsets (tiny ``n`` only)."""
+    pairs = list(itertools.combinations(range(n), 2))
+    best = 0
+    # Search subsets in decreasing size via simple branch and bound on the
+    # greedy completion; for n <= 8 plain enumeration over all subsets is still
+    # affordable but the bound below prunes most of it.
+    total = len(pairs)
+    for mask in range(1 << total):
+        count = mask.bit_count()
+        if count <= best:
+            continue
+        graph = Graph(nodes=range(n))
+        for index in range(total):
+            if mask >> index & 1:
+                graph.add_edge(*pairs[index])
+        if girth(graph, cutoff=k) > k:
+            best = count
+    return best
+
+
+def girth_edge_frontier(n: int, girth_values: List[int], *, rng=None,
+                        attempts: int = 20) -> Dict[int, int]:
+    """Empirical ``girth → max edges found`` frontier for ``n``-node graphs.
+
+    For each requested girth threshold ``g`` the random greedy generator is
+    run ``attempts`` times and the densest girth-``> g`` graph found is
+    recorded.  Experiment E4 plots this against :func:`moore_bound`.
+    """
+    from repro.graph.generators import high_girth_greedy
+
+    rng = ensure_rng(rng)
+    frontier: Dict[int, int] = {}
+    for g in girth_values:
+        best = 0
+        for attempt in range(attempts):
+            candidate = high_girth_greedy(n, g, rng=rng.spawn(g, attempt))
+            best = max(best, candidate.number_of_edges())
+        frontier[g] = best
+    return frontier

@@ -1,0 +1,121 @@
+"""Size-bound formulas: this paper's results and the prior work it improves on.
+
+These are *asymptotic shapes with unit constants*, meant for qualitative
+comparison curves in the experiments (who grows how fast in ``n``, ``f``, and
+``k``), not for predicting absolute edge counts.  The forms encoded here are
+the ones the respective papers state, with logarithmic and constant factors
+noted in the docstrings:
+
+* this paper (Theorem 1 / Corollary 2): ``O(f² · b(n/f, k+1))`` and, for
+  stretch ``2k − 1``, ``O(n^{1+1/k} · f^{1−1/k})``;
+* Bodwin–Dinitz–Parter–Williams (SODA'18): the same ``n``/``f`` dependence but
+  with an extra ``exp(k)`` factor — the factor Corollary 2 removes;
+* Dinitz–Krauthgamer (PODC'11): ``Õ(f^{2−2/k} · n^{1+1/k})`` for vertex
+  faults;
+* Chechik–Langberg–Peleg–Roditty (SICOMP'10): ``O(f² · k^{f+1} · n^{1+1/k} · log n)``
+  for vertex faults — exponential in ``f``;
+* the trivial bound ``n(n−1)/2`` and the non-FT greedy bound ``n^{1+1/k}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from repro.bounds.moore import moore_bound
+
+
+def _stretch_to_k(stretch: float) -> float:
+    """Invert ``stretch = 2k - 1``; fractional stretches give fractional ``k``."""
+    if stretch < 1:
+        raise ValueError("stretch must be at least 1")
+    return (stretch + 1.0) / 2.0
+
+
+def theorem1_bound(n: float, max_faults: int, stretch: float) -> float:
+    """Theorem 1: ``f² · b(n/f, k+1)`` with the Moore bound standing in for ``b``.
+
+    For ``f = 0`` this degenerates to the non-FT greedy bound ``b(n, k+1)``.
+    """
+    if max_faults <= 0:
+        return moore_bound(n, int(math.floor(stretch)) + 1)
+    effective_n = n / max_faults
+    return max_faults ** 2 * moore_bound(effective_n, int(math.floor(stretch)) + 1)
+
+
+def corollary2_bound(n: float, max_faults: int, stretch: float) -> float:
+    """Corollary 2: ``n^{1+1/k} · f^{1−1/k}`` for stretch ``2k − 1``."""
+    k = _stretch_to_k(stretch)
+    f = max(max_faults, 1)
+    return float(n) ** (1.0 + 1.0 / k) * float(f) ** (1.0 - 1.0 / k)
+
+
+def bdpw18_upper_bound(n: float, max_faults: int, stretch: float) -> float:
+    """The previous best bound (BDPW, SODA'18): Corollary 2 times ``exp(k)``.
+
+    The paper states Corollary 2 "improves over the previous best upper bound
+    in [9] by a factor of exp(k)"; the comparison curves encode exactly that
+    factor (base ``e``).
+    """
+    k = _stretch_to_k(stretch)
+    return corollary2_bound(n, max_faults, stretch) * math.exp(k)
+
+
+def dinitz_krauthgamer_bound(n: float, max_faults: int, stretch: float) -> float:
+    """Dinitz–Krauthgamer (PODC'11) vertex-fault bound ``Õ(f^{2−2/k} n^{1+1/k})``.
+
+    The hidden polylogarithmic factor is omitted (unit constants throughout).
+    """
+    k = _stretch_to_k(stretch)
+    f = max(max_faults, 1)
+    return float(n) ** (1.0 + 1.0 / k) * float(f) ** (2.0 - 2.0 / k)
+
+
+def clpr_bound(n: float, max_faults: int, stretch: float) -> float:
+    """Chechik–Langberg–Peleg–Roditty (SICOMP'10) bound ``O(f² k^{f+1} n^{1+1/k} log n)``.
+
+    Exponential in ``f`` — included so the experiments can show how quickly it
+    is overtaken even at small ``f``.
+    """
+    k = _stretch_to_k(stretch)
+    f = max(max_faults, 1)
+    logn = math.log(max(n, 2.0))
+    return (f ** 2) * (k ** (f + 1)) * float(n) ** (1.0 + 1.0 / k) * logn
+
+
+def trivial_bound(n: float, max_faults: int = 0, stretch: float = 1.0) -> float:
+    """Keeping the whole graph: ``n(n−1)/2`` edges."""
+    return n * (n - 1) / 2.0
+
+
+def non_ft_greedy_bound(n: float, max_faults: int = 0, stretch: float = 3.0) -> float:
+    """The fault-free greedy bound ``n^{1+1/k}`` for stretch ``2k − 1``."""
+    k = _stretch_to_k(stretch)
+    return float(n) ** (1.0 + 1.0 / k)
+
+
+#: Registry used by the experiments to iterate over all comparison curves.
+BOUND_FORMULAS: Dict[str, Callable[[float, int, float], float]] = {
+    "theorem1": theorem1_bound,
+    "corollary2": corollary2_bound,
+    "bdpw18": bdpw18_upper_bound,
+    "dinitz-krauthgamer": dinitz_krauthgamer_bound,
+    "clpr": clpr_bound,
+    "trivial": trivial_bound,
+    "non-ft-greedy": non_ft_greedy_bound,
+}
+
+
+def bound_ratio(measured_edges: int, bound_name: str, n: float, max_faults: int,
+                stretch: float) -> float:
+    """Measured size divided by a named bound — the "constant factor" experiments track."""
+    try:
+        formula = BOUND_FORMULAS[bound_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bound {bound_name!r}; expected one of {sorted(BOUND_FORMULAS)}"
+        ) from None
+    value = formula(n, max_faults, stretch)
+    if value <= 0:
+        return math.inf
+    return measured_edges / value

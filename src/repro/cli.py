@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+Installed as ``repro-spanner`` (see ``pyproject.toml``) and runnable as
+``python -m repro``.  Subcommands:
+
+* ``build``       — build a (fault-tolerant) spanner of a graph file and write
+  it back out, printing a summary;
+* ``verify``      — check the spanner / FT-spanner property of a subgraph file
+  against an original graph file;
+* ``experiment``  — run one of the registered experiments (E1..E10) and print
+  its result table;
+* ``lower-bound`` — generate a BDPW lower-bound instance and write it to a
+  file;
+* ``generate``    — generate a workload graph to a file.
+
+All graph files are the edge-list / JSON formats of :mod:`repro.graph.io`
+(chosen by extension: ``.json`` vs anything else).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bounds.lower_bound import bdpw_lower_bound_instance
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.workloads import WORKLOADS, get_workload
+from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
+from repro.graph.products import relabel_product_nodes
+from repro.spanners.ft_greedy import ft_greedy_spanner
+from repro.spanners.greedy import greedy_spanner
+from repro.spanners.verify import is_ft_spanner, is_spanner, stretch_of
+from repro.utils.logging import configure_cli_logging, get_logger
+
+_LOGGER = get_logger("cli")
+
+
+def _load_graph(path: str):
+    path_obj = Path(path)
+    if path_obj.suffix == ".json":
+        return read_json(path_obj)
+    return read_edge_list(path_obj)
+
+
+def _save_graph(graph, path: str) -> None:
+    path_obj = Path(path)
+    if path_obj.suffix == ".json":
+        write_json(graph, path_obj)
+    else:
+        write_edge_list(graph, path_obj)
+
+
+# --------------------------------------------------------------------------
+# Subcommand implementations
+# --------------------------------------------------------------------------
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input)
+    if args.faults > 0:
+        result = ft_greedy_spanner(graph, args.stretch, args.faults,
+                                   fault_model=args.fault_model,
+                                   oracle=args.oracle)
+    else:
+        result = greedy_spanner(graph, args.stretch)
+    print(f"input: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
+    print(f"spanner: {result.algorithm} k={args.stretch} f={args.faults} "
+          f"({args.fault_model}) -> {result.size} edges "
+          f"({result.compression_ratio:.1%} of input) "
+          f"in {result.construction_seconds:.2f}s")
+    if args.output:
+        _save_graph(result.spanner, args.output)
+        print(f"wrote spanner to {args.output}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    original = _load_graph(args.original)
+    subgraph = _load_graph(args.subgraph)
+    if args.faults > 0:
+        report = is_ft_spanner(original, subgraph, args.stretch, args.faults,
+                               fault_model=args.fault_model, method=args.method,
+                               samples=args.samples, rng=args.seed)
+        print(f"fault model: {report.fault_model}, f={report.max_faults}, "
+              f"checked {report.fault_sets_checked} fault sets "
+              f"({'exhaustive' if report.exhaustive else 'sampled'})")
+        print(f"worst stretch observed: {report.worst_stretch:.4f} "
+              f"(required <= {args.stretch})")
+        print("VERDICT:", "OK" if report.ok else "VIOLATED")
+        return 0 if report.ok else 1
+    ok = is_spanner(original, subgraph, args.stretch)
+    print(f"stretch: {stretch_of(original, subgraph):.4f} (required <= {args.stretch})")
+    print("VERDICT:", "OK" if ok else "VIOLATED")
+    return 0 if ok else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.ident.lower() == "all":
+        idents = sorted(EXPERIMENTS)
+    else:
+        idents = [args.ident]
+    for ident in idents:
+        table = run_experiment(ident, scale=args.scale, rng=args.seed)
+        print()
+        print(table.to_markdown() if args.markdown else table.to_ascii())
+        if args.csv_dir:
+            out = Path(args.csv_dir) / f"{ident.lower()}.csv"
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(table.to_csv(), encoding="utf-8")
+            print(f"[wrote {out}]")
+    return 0
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> int:
+    instance = bdpw_lower_bound_instance(args.faults, args.stretch,
+                                         base_nodes=args.base_nodes, rng=args.seed)
+    graph, _mapping = relabel_product_nodes(instance.graph)
+    print(f"BDPW blow-up: base={instance.base.name} copies={instance.copies} "
+          f"n={instance.nodes} m={instance.edges}")
+    if args.output:
+        _save_graph(graph, args.output)
+        print(f"wrote instance to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    graph = workload.instantiate(args.seed)
+    print(f"{workload.name}: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
+    _save_graph(graph, args.output)
+    print(f"wrote graph to {args.output}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("experiments:")
+    for ident, spec in sorted(EXPERIMENTS.items()):
+        print(f"  {ident:4s} {spec.title} — {spec.claim}")
+    print("\nworkloads:")
+    for name, workload in sorted(WORKLOADS.items()):
+        print(f"  {name:18s} {workload.description}")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Argument parsing
+# --------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spanner",
+        description="Fault tolerant spanners: constructions, verification, experiments.",
+    )
+    parser.add_argument("--verbose", action="store_true", help="debug logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a (fault tolerant) spanner of a graph file")
+    build.add_argument("input", help="input graph (.json or edge list)")
+    build.add_argument("--output", "-o", help="where to write the spanner")
+    build.add_argument("--stretch", "-k", type=float, default=3.0)
+    build.add_argument("--faults", "-f", type=int, default=0)
+    build.add_argument("--fault-model", choices=["vertex", "edge"], default="vertex")
+    build.add_argument("--oracle", default=None,
+                       choices=["branch-and-bound", "exhaustive", "greedy-path-packing"])
+    build.set_defaults(func=_cmd_build)
+
+    verify = sub.add_parser("verify", help="verify the (FT) spanner property")
+    verify.add_argument("original", help="original graph file")
+    verify.add_argument("subgraph", help="candidate spanner file")
+    verify.add_argument("--stretch", "-k", type=float, default=3.0)
+    verify.add_argument("--faults", "-f", type=int, default=0)
+    verify.add_argument("--fault-model", choices=["vertex", "edge"], default="vertex")
+    verify.add_argument("--method", choices=["auto", "exhaustive", "sampled"], default="auto")
+    verify.add_argument("--samples", type=int, default=100)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.set_defaults(func=_cmd_verify)
+
+    experiment = sub.add_parser("experiment", help="run a registered experiment (E1..E10)")
+    experiment.add_argument("ident", help="experiment id (E1..E10) or 'all'")
+    experiment.add_argument("--scale", choices=["quick", "full"], default="quick")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    experiment.add_argument("--csv-dir", help="also write each table as CSV into this directory")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    lower = sub.add_parser("lower-bound", help="generate a BDPW lower-bound instance")
+    lower.add_argument("--faults", "-f", type=int, required=True)
+    lower.add_argument("--stretch", "-k", type=float, default=3.0)
+    lower.add_argument("--base-nodes", type=int, default=14)
+    lower.add_argument("--seed", type=int, default=0)
+    lower.add_argument("--output", "-o", help="where to write the instance")
+    lower.set_defaults(func=_cmd_lower_bound)
+
+    generate = sub.add_parser("generate", help="generate a named workload graph")
+    generate.add_argument("workload", choices=sorted(WORKLOADS))
+    generate.add_argument("output", help="output file (.json or edge list)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    lister = sub.add_parser("list", help="list experiments and workloads")
+    lister.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    configure_cli_logging(verbose=args.verbose)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        _LOGGER.error("%s", error)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

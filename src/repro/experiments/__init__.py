@@ -1,0 +1,27 @@
+"""Experiment harness: one driver per claim of the paper.
+
+The paper is a theory paper without an empirical section, so the reproduction
+defines the evaluation (see DESIGN.md §4): each experiment Ei validates one
+theorem, lemma, or comparison claim on synthetic workloads and produces a
+result table in the exact shape EXPERIMENTS.md records.
+
+Every experiment module exposes
+
+* a ``Config`` dataclass with ``quick()`` and ``full()`` presets, and
+* a ``run(config=None, *, rng=0) -> Table`` function,
+
+and registers itself in :data:`repro.experiments.registry.EXPERIMENTS` so the
+CLI (``python -m repro experiment E3``) and the benchmark files can drive them
+uniformly.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment, run_experiment
+from repro.experiments import workloads
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "run_experiment",
+    "workloads",
+]

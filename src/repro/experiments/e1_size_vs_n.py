@@ -1,0 +1,98 @@
+"""E1 — spanner size as a function of ``n`` (Corollary 2, growth in ``n``).
+
+For stretch ``2k − 1`` and fault budget ``f``, Corollary 2 predicts
+``|E(H)| = O(n^{1+1/k} · f^{1−1/k})``.  This experiment builds FT greedy
+spanners of ``G(n, m)`` graphs with a fixed average degree for growing ``n``
+and reports, per row, the measured size, the Corollary 2 value, their ratio
+(which should stay bounded as ``n`` grows), and — as a summary of the series —
+the fitted log–log slope of size vs. ``n``, which should be close to
+``1 + 1/k`` and in particular well below 2 (the trivial bound's slope).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bounds.theoretical import corollary2_bound
+from repro.experiments.workloads import gnm_scaling_series
+from repro.spanners.ft_greedy import ft_greedy_spanner
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import Table
+
+
+@dataclass
+class Config:
+    """Parameters of the E1 sweep."""
+
+    sizes: List[int] = field(default_factory=lambda: [40, 60, 80, 100])
+    average_degree: int = 30
+    stretch: float = 3.0
+    fault_budgets: List[int] = field(default_factory=lambda: [1, 2])
+    fault_model: str = "vertex"
+    trials: int = 1
+
+    @classmethod
+    def quick(cls) -> "Config":
+        """Seconds-scale preset used by the benchmarks."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "Config":
+        """The preset used to regenerate EXPERIMENTS.md."""
+        return cls(sizes=[40, 60, 80, 100, 140, 180, 220], trials=3)
+
+
+def fitted_slope(points: List[Tuple[float, float]]) -> float:
+    """Least-squares slope of ``log(y)`` against ``log(x)``."""
+    if len(points) < 2:
+        return float("nan")
+    xs = [math.log(x) for x, _ in points]
+    ys = [math.log(y) for _, y in points if y > 0]
+    if len(ys) != len(xs):
+        return float("nan")
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den if den else float("nan")
+
+
+def run(config: Optional[Config] = None, *, rng=0) -> Table:
+    """Run E1 and return the result table."""
+    config = config or Config.quick()
+    source = ensure_rng(rng)
+    k_half = (config.stretch + 1.0) / 2.0
+    table = Table(
+        columns=["f", "n", "m", "spanner_edges", "corollary2", "ratio",
+                 "fitted_slope", "predicted_slope"],
+        title=f"E1: size vs n (stretch={config.stretch}, model={config.fault_model})",
+    )
+    for f in config.fault_budgets:
+        points: List[Tuple[float, float]] = []
+        rows = []
+        for trial in range(config.trials):
+            series = gnm_scaling_series(
+                config.sizes, config.average_degree,
+                rng=source.spawn("series", f, trial),
+            )
+            for n, graph in series:
+                result = ft_greedy_spanner(graph, config.stretch, f,
+                                           fault_model=config.fault_model)
+                bound = corollary2_bound(n, f, config.stretch)
+                points.append((float(n), float(result.size)))
+                rows.append({
+                    "f": f,
+                    "n": n,
+                    "m": graph.number_of_edges(),
+                    "spanner_edges": result.size,
+                    "corollary2": bound,
+                    "ratio": result.size / bound,
+                })
+        slope = fitted_slope(points)
+        for row in rows:
+            row["fitted_slope"] = slope
+            row["predicted_slope"] = 1.0 + 1.0 / k_half
+            table.add_row(row)
+    return table.sort_by("f", "n")

@@ -1,0 +1,152 @@
+"""Workload registry: the synthetic graph families the experiments run on.
+
+Every workload is a named, seeded recipe so experiment rows are reproducible
+and EXPERIMENTS.md can reference workloads by name.  Two scales are provided:
+
+* ``quick`` — seconds per experiment; used by the benchmark suite and CI;
+* ``full``  — minutes per experiment; used when regenerating EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.graph.core import Graph
+from repro.graph import generators
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named graph recipe.
+
+    ``build(rng)`` produces the graph; the recipe's parameters are also stored
+    on ``graph.metadata`` by the generators themselves.
+    """
+
+    name: str
+    description: str
+    build: Callable[[RandomSource], Graph]
+
+    def instantiate(self, rng=None) -> Graph:
+        """Build the workload graph with a (seeded) random source."""
+        graph = self.build(ensure_rng(rng))
+        graph.metadata.setdefault("workload", self.name)
+        return graph
+
+
+def _dense_gnm(n: int, average_degree: int) -> Callable[[RandomSource], Graph]:
+    m = min(n * average_degree // 2, n * (n - 1) // 2)
+    return lambda rng: generators.gnm(n, m, rng=rng, connected=True)
+
+
+def _weighted_gnm(n: int, average_degree: int) -> Callable[[RandomSource], Graph]:
+    m = min(n * average_degree // 2, n * (n - 1) // 2)
+    return lambda rng: generators.gnm(n, m, rng=rng, connected=True, weighted=True,
+                                      weight_range=(1.0, 20.0))
+
+
+def _geometric(n: int, radius: float) -> Callable[[RandomSource], Graph]:
+    return lambda rng: generators.random_geometric(n, radius, rng=rng)
+
+
+WORKLOADS: Dict[str, Workload] = {
+    "gnm-small-dense": Workload(
+        "gnm-small-dense",
+        "Unweighted G(n,m): n=60, average degree 24 — dense enough to compress",
+        _dense_gnm(60, 24),
+    ),
+    "gnm-medium-dense": Workload(
+        "gnm-medium-dense",
+        "Unweighted G(n,m): n=100, average degree 40",
+        _dense_gnm(100, 40),
+    ),
+    "gnm-large-dense": Workload(
+        "gnm-large-dense",
+        "Unweighted G(n,m): n=160, average degree 50",
+        _dense_gnm(160, 50),
+    ),
+    "gnm-weighted": Workload(
+        "gnm-weighted",
+        "Weighted G(n,m): n=80, average degree 30, uniform weights in [1, 20]",
+        _weighted_gnm(80, 30),
+    ),
+    "geometric-city": Workload(
+        "geometric-city",
+        "Random geometric graph: n=120 points in the unit square, radius 0.22, "
+        "Euclidean edge weights (road-network-like)",
+        _geometric(120, 0.22),
+    ),
+    "geometric-dense": Workload(
+        "geometric-dense",
+        "Random geometric graph: n=90, radius 0.35 — dense local clustering",
+        _geometric(90, 0.35),
+    ),
+    "caveman": Workload(
+        "caveman",
+        "Connected caveman graph: 8 cliques of 10 — small vertex cuts, the hard "
+        "case for vertex fault tolerance",
+        lambda rng: generators.connected_caveman(8, 10),
+    ),
+    "hypercube": Workload(
+        "hypercube",
+        "7-dimensional hypercube (128 nodes, 448 edges)",
+        lambda rng: generators.hypercube(7),
+    ),
+    "grid": Workload(
+        "grid",
+        "12x12 grid with diagonals",
+        lambda rng: generators.grid_2d(12, 12, diagonal=True),
+    ),
+    "tiny-gnm": Workload(
+        "tiny-gnm",
+        "Unweighted G(n,m): n=24, average degree 10 — small enough for exhaustive "
+        "fault-set verification",
+        _dense_gnm(24, 10),
+    ),
+    "tiny-weighted": Workload(
+        "tiny-weighted",
+        "Weighted G(n,m): n=20, average degree 8, uniform weights",
+        _weighted_gnm(20, 8),
+    ),
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def build_workloads(names: Iterable[str], *, rng=None) -> List[Tuple[str, Graph]]:
+    """Instantiate several workloads with independent derived random streams."""
+    source = ensure_rng(rng)
+    graphs = []
+    for name in names:
+        workload = get_workload(name)
+        graphs.append((name, workload.instantiate(source.spawn("workload", name))))
+    return graphs
+
+
+def gnm_scaling_series(sizes: Iterable[int], average_degree: int, *,
+                       weighted: bool = False, rng=None) -> List[Tuple[int, Graph]]:
+    """A series of ``G(n, m)`` graphs of growing ``n`` at fixed average degree.
+
+    Used by the scaling experiments (E1/E2); each size gets an independent
+    derived random stream so adding sizes does not perturb existing rows.
+    """
+    source = ensure_rng(rng)
+    series = []
+    for n in sizes:
+        m = min(n * average_degree // 2, n * (n - 1) // 2)
+        graph = generators.gnm(
+            n, m, rng=source.spawn("scaling", n), connected=True,
+            weighted=weighted, weight_range=(1.0, 20.0),
+        )
+        series.append((n, graph))
+    return series

@@ -1,0 +1,40 @@
+"""Fault models: which elements can fail, and how to enumerate/sample failures.
+
+The paper considers two models (Definition 2):
+
+* **vertex faults (VFT)** — up to ``f`` vertices are removed; and
+* **edge faults (EFT)** — up to ``f`` edges are removed.
+
+:class:`FaultModel` abstracts the difference so the greedy algorithm, the
+verification code, and the experiments are written once and parametrised by
+the model.
+"""
+
+from repro.faults.models import (
+    FaultModel,
+    VertexFaultModel,
+    EdgeFaultModel,
+    VERTEX_FAULTS,
+    EDGE_FAULTS,
+    get_fault_model,
+)
+from repro.faults.enumeration import (
+    enumerate_fault_sets,
+    count_fault_sets,
+    sample_fault_sets,
+)
+from repro.faults.adversarial import worst_case_fault_set, stretch_under_faults
+
+__all__ = [
+    "FaultModel",
+    "VertexFaultModel",
+    "EdgeFaultModel",
+    "VERTEX_FAULTS",
+    "EDGE_FAULTS",
+    "get_fault_model",
+    "enumerate_fault_sets",
+    "count_fault_sets",
+    "sample_fault_sets",
+    "worst_case_fault_set",
+    "stretch_under_faults",
+]

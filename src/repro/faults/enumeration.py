@@ -1,0 +1,80 @@
+"""Enumerating and sampling fault sets.
+
+Exhaustive enumeration of all fault sets of size at most ``f`` is what makes
+both the naive greedy check and the exhaustive FT-spanner verifier exponential
+in ``f`` (the open problem the paper mentions); it is still the ground truth
+the rest of the library is validated against, so it lives here in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.faults.models import FaultElement, FaultModel, FaultSet, get_fault_model
+from repro.utils.rng import ensure_rng
+
+
+def enumerate_fault_sets(elements: Sequence[FaultElement], max_faults: int,
+                         *, include_empty: bool = True) -> Iterator[tuple]:
+    """Yield every subset of ``elements`` of size ``<= max_faults``.
+
+    Subsets are yielded in order of increasing size (the empty set first when
+    ``include_empty``), and within a size in the lexicographic order induced
+    by the input sequence, so iteration order is deterministic.
+    """
+    if max_faults < 0:
+        raise ValueError("max_faults must be non-negative")
+    start = 0 if include_empty else 1
+    limit = min(max_faults, len(elements))
+    for size in range(start, limit + 1):
+        yield from combinations(elements, size)
+
+
+def count_fault_sets(num_elements: int, max_faults: int,
+                     *, include_empty: bool = True) -> int:
+    """Number of subsets of size ``<= max_faults`` out of ``num_elements`` elements."""
+    if max_faults < 0:
+        raise ValueError("max_faults must be non-negative")
+    total = sum(math.comb(num_elements, size)
+                for size in range(0, min(max_faults, num_elements) + 1))
+    return total if include_empty else total - 1
+
+
+def sample_fault_sets(graph, fault_model: "str | FaultModel", max_faults: int,
+                      samples: int, *, rng=None,
+                      exact_size: bool = True) -> List[FaultSet]:
+    """Sample random fault sets for stochastic verification (E9 on large instances).
+
+    Parameters
+    ----------
+    exact_size:
+        If ``True`` every sampled set has exactly ``min(max_faults, available)``
+        elements — the hardest case; otherwise the size is uniform in
+        ``[0, max_faults]``.
+    """
+    model = get_fault_model(fault_model)
+    rng = ensure_rng(rng)
+    elements = model.all_elements(graph)
+    results: List[FaultSet] = []
+    for _ in range(samples):
+        if exact_size:
+            size = min(max_faults, len(elements))
+        else:
+            size = rng.randint(0, min(max_faults, len(elements)))
+        chosen = rng.sample(elements, size) if size > 0 else []
+        results.append(model.canonical(chosen))
+    return results
+
+
+def fault_sets_for_pair(graph, fault_model: "str | FaultModel", source, target,
+                        max_faults: int) -> Iterator[tuple]:
+    """Enumerate candidate fault sets relevant to one source/target pair.
+
+    This is exactly the set the naive greedy check ranges over: all subsets of
+    ``candidate_elements(graph, source, target)`` of size at most ``f``.
+    """
+    model = get_fault_model(fault_model)
+    elements = model.candidate_elements(graph, source, target)
+    return enumerate_fault_sets(elements, max_faults)

@@ -1,0 +1,57 @@
+"""Graph substrate: weighted undirected graphs and everything built on them.
+
+The library deliberately ships its own small graph type
+(:class:`repro.graph.Graph`) rather than using :mod:`networkx` internally:
+
+* the fault-tolerant greedy algorithm runs bounded Dijkstra searches inside a
+  branch-and-bound loop, so adjacency access and "graph minus fault set"
+  views must be as cheap as possible;
+* deterministic iteration order (insertion order of nodes and edges) makes
+  every experiment reproducible from a seed;
+* the type is tiny enough to reason about in tests and property-based checks.
+
+:mod:`networkx` interop is provided by :mod:`repro.graph.convert` for users
+who already have networkx graphs.
+"""
+
+from repro.graph.core import Graph, GraphError
+from repro.graph.views import ExclusionView, induced_subgraph, graph_minus
+from repro.graph.components import connected_components, is_connected, UnionFind
+from repro.graph.girth import girth, has_cycle_at_most, shortest_cycle_through_edge
+from repro.graph.products import cartesian_product, tensor_product, strong_product
+from repro.graph.convert import to_networkx, from_networkx
+from repro.graph.io import (
+    write_edge_list,
+    read_edge_list,
+    graph_to_json,
+    graph_from_json,
+    write_json,
+    read_json,
+)
+from repro.graph import generators
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "ExclusionView",
+    "induced_subgraph",
+    "graph_minus",
+    "connected_components",
+    "is_connected",
+    "UnionFind",
+    "girth",
+    "has_cycle_at_most",
+    "shortest_cycle_through_edge",
+    "cartesian_product",
+    "tensor_product",
+    "strong_product",
+    "to_networkx",
+    "from_networkx",
+    "write_edge_list",
+    "read_edge_list",
+    "graph_to_json",
+    "graph_from_json",
+    "write_json",
+    "read_json",
+    "generators",
+]

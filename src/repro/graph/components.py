@@ -1,0 +1,145 @@
+"""Connectivity utilities: connected components and a union–find structure.
+
+Used by graph generators (to ensure connectivity when requested), by the
+verification code (stretch is only defined between connected pairs), and by
+tests as a simple independent oracle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List
+
+from repro.graph.core import Graph, Node
+from repro.graph.views import ExclusionView
+
+GraphLike = "Graph | ExclusionView"
+
+
+def connected_components(graph) -> List[List[Node]]:
+    """Return the connected components as lists of nodes.
+
+    Components and the nodes inside them are reported in the graph's
+    deterministic iteration order.
+    """
+    seen: set[Node] = set()
+    components: List[List[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: List[Node] = []
+        queue: deque[Node] = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def is_connected(graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    nodes = list(graph.nodes())
+    if len(nodes) <= 1:
+        return True
+    seen: set[Node] = {nodes[0]}
+    queue: deque[Node] = deque([nodes[0]])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return len(seen) == len(nodes)
+
+
+def component_of(graph, node: Node) -> List[Node]:
+    """Return the connected component containing ``node``."""
+    seen: set[Node] = {node}
+    order: List[Node] = []
+    queue: deque[Node] = deque([node])
+    while queue:
+        current = queue.popleft()
+        order.append(current)
+        for neighbor in graph.neighbors(current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def largest_component_subgraph(graph: Graph) -> Graph:
+    """Return the induced subgraph on the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return graph.copy()
+    largest = max(components, key=len)
+    return graph.subgraph(largest)
+
+
+class UnionFind:
+    """Disjoint-set forest with union by size and path compression.
+
+    Used by the random spanning-tree augmentation in the generators and as a
+    fast connectivity oracle in tests.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton set (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the representative of ``element``'s set."""
+        if element not in self._parent:
+            raise KeyError(f"{element!r} not registered in the union-find")
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; return ``True`` if they were distinct."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def component_count(self) -> int:
+        """Number of disjoint sets."""
+        return sum(1 for element in self._parent if self._parent[element] == element)
+
+    def groups(self) -> Iterator[List[Hashable]]:
+        """Iterate the sets as lists of elements."""
+        by_root: Dict[Hashable, List[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), []).append(element)
+        return iter(by_root.values())
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)

@@ -1,0 +1,45 @@
+"""Conversion between :class:`repro.graph.Graph` and :mod:`networkx` graphs.
+
+The library's algorithms all run on the internal type, but users frequently
+already have data in networkx; these two functions are the supported bridge.
+They are also used by the test-suite as an independent oracle (networkx
+shortest paths / girth vs. ours).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.graph.core import Graph
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    """Convert to an :class:`networkx.Graph` with ``weight`` edge attributes."""
+    result = nx.Graph(name=graph.name)
+    result.add_nodes_from(graph.nodes())
+    for u, v, w in graph.edges():
+        result.add_edge(u, v, weight=w)
+    return result
+
+
+def from_networkx(nx_graph: "nx.Graph", *, weight_attribute: str = "weight",
+                  default_weight: float = 1.0, name: Optional[str] = None) -> Graph:
+    """Convert from networkx.
+
+    Directed graphs are accepted and symmetrised (an undirected edge per
+    directed arc, keeping the smaller weight if both directions exist).
+    Multigraphs keep the minimum-weight parallel edge.  Self loops are dropped,
+    because :class:`Graph` is simple.
+    """
+    graph = Graph(name=name if name is not None else (nx_graph.name or ""))
+    graph.add_nodes(nx_graph.nodes())
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        weight = float(data.get(weight_attribute, default_weight))
+        if graph.has_edge(u, v):
+            weight = min(weight, graph.weight(u, v))
+        graph.add_edge(u, v, weight)
+    return graph

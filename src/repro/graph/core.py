@@ -1,0 +1,344 @@
+"""The core weighted undirected graph type.
+
+:class:`Graph` is a simple (no self-loops, no parallel edges) undirected graph
+with positive edge weights.  It is the substrate every spanner algorithm in
+the library runs on.  Design constraints, in order of importance:
+
+1. **Determinism** — nodes and edges iterate in insertion order, so two runs
+   with the same seed produce byte-identical spanners.
+2. **Cheap adjacency** — ``graph.adjacency(u)`` returns the underlying dict
+   (read-only by convention) so inner shortest-path loops avoid copies.
+3. **Explicitness** — mutation raises on invalid input (missing endpoints,
+   self loops, non-positive weights) rather than silently fixing it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+Node = Hashable
+EdgeTuple = Tuple[Node, Node]
+WeightedEdge = Tuple[Node, Node, float]
+
+
+class GraphError(Exception):
+    """Raised on invalid graph operations (missing nodes, self loops, ...)."""
+
+
+def edge_key(u: Node, v: Node) -> EdgeTuple:
+    """Canonical unordered representation of the edge ``{u, v}``.
+
+    Nodes of mixed or unorderable types fall back to ordering by ``repr`` so
+    the key is still deterministic.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """A weighted, undirected, simple graph.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial nodes.
+    edges:
+        Optional iterable of ``(u, v)`` or ``(u, v, weight)`` tuples; missing
+        weights default to ``1.0``.  Endpoints are added automatically.
+    name:
+        Optional human readable name carried through copies and used in
+        ``repr``/experiment reports.
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(0, 1), (1, 2, 2.5)])
+    >>> g.number_of_nodes(), g.number_of_edges()
+    (3, 2)
+    >>> g.weight(1, 2)
+    2.5
+    """
+
+    __slots__ = ("_adj", "name", "metadata")
+
+    def __init__(
+        self,
+        nodes: Optional[Iterable[Node]] = None,
+        edges: Optional[Iterable[Tuple]] = None,
+        name: str = "",
+    ):
+        self._adj: dict[Node, dict[Node, float]] = {}
+        self.name = name
+        #: Free-form dictionary for generator parameters, experiment tags, etc.
+        self.metadata: dict[str, Any] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for edge in edges:
+                if len(edge) == 2:
+                    self.add_edge(edge[0], edge[1])
+                elif len(edge) == 3:
+                    self.add_edge(edge[0], edge[1], edge[2])
+                else:
+                    raise GraphError(f"edge tuples must have 2 or 3 entries, got {edge!r}")
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present (idempotent)."""
+        if node not in self._adj:
+            self._adj[node] = {}
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises :class:`GraphError` if the node is absent.
+        """
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} not in graph")
+        for neighbor in list(self._adj[node]):
+            del self._adj[neighbor][node]
+        del self._adj[node]
+
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate nodes in insertion order."""
+        return iter(self._adj)
+
+    def number_of_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    # ------------------------------------------------------------------ edges
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add the edge ``{u, v}`` with the given positive weight.
+
+        Endpoints are created if missing.  Re-adding an existing edge
+        overwrites its weight.  Self loops and non-positive / non-finite
+        weights raise :class:`GraphError`.
+        """
+        if u == v:
+            raise GraphError(f"self loops are not allowed (node {u!r})")
+        weight = float(weight)
+        if not weight > 0.0 or weight != weight or weight == float("inf"):
+            raise GraphError(f"edge weight must be positive and finite, got {weight!r}")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def add_edges(self, edges: Iterable[Tuple]) -> None:
+        """Add every edge in ``edges`` (2- or 3-tuples)."""
+        for edge in edges:
+            if len(edge) == 2:
+                self.add_edge(edge[0], edge[1])
+            else:
+                self.add_edge(edge[0], edge[1], edge[2])
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``; raises if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Weight of the edge ``{u, v}``; raises :class:`GraphError` if absent."""
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate edges once each as ``(u, v, weight)`` in insertion order.
+
+        Each undirected edge is reported exactly once, oriented from the
+        endpoint that was inserted first.
+        """
+        seen: set[EdgeTuple] = set()
+        for u, neighbors in self._adj.items():
+            for v, w in neighbors.items():
+                key = edge_key(u, v)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield (u, v, w)
+
+    def edge_keys(self) -> Iterator[EdgeTuple]:
+        """Iterate canonical ``(min, max)`` edge keys (unweighted)."""
+        for u, v, _ in self.edges():
+            yield edge_key(u, v)
+
+    def number_of_edges(self) -> int:
+        """Number of edges."""
+        return sum(len(neighbors) for neighbors in self._adj.values()) // 2
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    # ------------------------------------------------------------ adjacency
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        """Iterate the neighbours of ``node``; raises if the node is absent."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} not in graph")
+        return iter(self._adj[node])
+
+    def adjacency(self, node: Node) -> Mapping[Node, float]:
+        """Neighbour→weight mapping of ``node`` (do not mutate)."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} not in graph")
+        return self._adj[node]
+
+    def degree(self, node: Node) -> int:
+        """Degree of ``node``."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} not in graph")
+        return len(self._adj[node])
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(neighbors) for neighbors in self._adj.values())
+
+    def min_degree(self) -> int:
+        """Minimum degree over all nodes (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return min(len(neighbors) for neighbors in self._adj.values())
+
+    def average_degree(self) -> float:
+        """Average degree, i.e. ``2m / n`` (0 for the empty graph)."""
+        n = self.number_of_nodes()
+        if n == 0:
+            return 0.0
+        return 2.0 * self.number_of_edges() / n
+
+    # ------------------------------------------------------------ derivation
+    def copy(self, name: Optional[str] = None) -> "Graph":
+        """Deep copy of structure and weights (metadata is shallow-copied)."""
+        clone = Graph(name=self.name if name is None else name)
+        clone.metadata = dict(self.metadata)
+        for node in self._adj:
+            clone.add_node(node)
+        for u, v, w in self.edges():
+            clone.add_edge(u, v, w)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Induced subgraph on ``nodes`` (nodes absent from ``self`` are ignored)."""
+        keep = [node for node in nodes if node in self._adj]
+        keep_set = set(keep)
+        sub = Graph(name=self.name)
+        sub.metadata = dict(self.metadata)
+        for node in keep:
+            sub.add_node(node)
+        for u, v, w in self.edges():
+            if u in keep_set and v in keep_set:
+                sub.add_edge(u, v, w)
+        return sub
+
+    def edge_subgraph(self, edges: Iterable[EdgeTuple]) -> "Graph":
+        """Subgraph containing all nodes of ``self`` but only the given edges."""
+        sub = Graph(nodes=self.nodes(), name=self.name)
+        sub.metadata = dict(self.metadata)
+        for u, v in edges:
+            sub.add_edge(u, v, self.weight(u, v))
+        return sub
+
+    def spanning_subgraph(self) -> "Graph":
+        """Edge-less graph on the same node set (the greedy algorithms start here)."""
+        empty = Graph(nodes=self.nodes(), name=self.name)
+        empty.metadata = dict(self.metadata)
+        return empty
+
+    def relabeled(self, mapping: Mapping[Node, Node]) -> "Graph":
+        """Return a copy with nodes renamed through ``mapping``.
+
+        Nodes missing from ``mapping`` keep their name.  The mapping must be
+        injective on the node set.
+        """
+        new_names = [mapping.get(node, node) for node in self.nodes()]
+        if len(set(new_names)) != len(new_names):
+            raise GraphError("relabeling mapping is not injective on the node set")
+        clone = Graph(name=self.name)
+        clone.metadata = dict(self.metadata)
+        for node in self.nodes():
+            clone.add_node(mapping.get(node, node))
+        for u, v, w in self.edges():
+            clone.add_edge(mapping.get(u, u), mapping.get(v, v), w)
+        return clone
+
+    def with_integer_labels(self) -> tuple["Graph", dict[Node, int]]:
+        """Relabel nodes to ``0..n-1`` in insertion order; also return the mapping."""
+        mapping = {node: index for index, node in enumerate(self.nodes())}
+        return self.relabeled(mapping), mapping
+
+    # -------------------------------------------------------------- equality
+    def same_structure(self, other: "Graph", tol: float = 1e-12) -> bool:
+        """Whether both graphs have identical node sets, edge sets, and weights."""
+        if set(self.nodes()) != set(other.nodes()):
+            return False
+        if self.number_of_edges() != other.number_of_edges():
+            return False
+        for u, v, w in self.edges():
+            if not other.has_edge(u, v):
+                return False
+            if abs(other.weight(u, v) - w) > tol:
+                return False
+        return True
+
+    def is_subgraph_of(self, other: "Graph", tol: float = 1e-12) -> bool:
+        """Whether every node and (weight-matching) edge of ``self`` is in ``other``."""
+        for node in self.nodes():
+            if not other.has_node(node):
+                return False
+        for u, v, w in self.edges():
+            if not other.has_edge(u, v):
+                return False
+            if abs(other.weight(u, v) - w) > tol:
+                return False
+        return True
+
+    # ------------------------------------------------------------- protocol
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Graph{label} n={self.number_of_nodes()} m={self.number_of_edges()}>"
+        )
+
+
+def density(graph: Graph) -> float:
+    """Edge density ``m / (n choose 2)`` (0 for graphs with fewer than 2 nodes)."""
+    n = graph.number_of_nodes()
+    if n < 2:
+        return 0.0
+    return graph.number_of_edges() / (n * (n - 1) / 2)
+
+
+def is_unit_weighted(graph: Graph, tol: float = 1e-12) -> bool:
+    """Whether every edge has weight (approximately) 1."""
+    return all(abs(w - 1.0) <= tol for _, _, w in graph.edges())

@@ -1,0 +1,502 @@
+"""Graph generators used by the experiments, examples, and tests.
+
+All generators return :class:`repro.graph.Graph` instances with nodes labelled
+``0..n-1`` (unless stated otherwise), record their parameters in
+``graph.metadata``, and accept ``rng=`` (seed, :class:`random.Random`, or
+:class:`~repro.utils.rng.RandomSource`) for reproducibility.
+
+The families cover what the evaluation needs:
+
+* random models — :func:`gnp`, :func:`gnm`, :func:`random_geometric`,
+  :func:`random_regular_like`, :func:`random_weighted_gnm`;
+* structured graphs — :func:`path_graph`, :func:`cycle_graph`,
+  :func:`complete_graph`, :func:`complete_bipartite`, :func:`grid_2d`,
+  :func:`hypercube`, :func:`star_graph`, :func:`barbell_graph`,
+  :func:`connected_caveman`;
+* high-girth graphs for the lower-bound construction —
+  :func:`petersen_graph`, :func:`heawood_graph`, :func:`mcgee_graph`,
+  :func:`tutte_coxeter_graph`, :func:`incidence_projective_plane`,
+  :func:`high_girth_greedy`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Optional, Sequence
+
+from repro.graph.components import UnionFind, is_connected
+from repro.graph.core import Graph
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+# --------------------------------------------------------------------------
+# Random families
+# --------------------------------------------------------------------------
+
+def gnp(n: int, p: float, *, rng=None, weighted: bool = False,
+        weight_range: tuple[float, float] = (1.0, 10.0)) -> Graph:
+    """Erdős–Rényi ``G(n, p)``: each of the ``n choose 2`` edges appears w.p. ``p``.
+
+    With ``weighted=True`` edge weights are uniform in ``weight_range``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    rng = ensure_rng(rng)
+    graph = Graph(nodes=range(n), name=f"gnp(n={n},p={p})")
+    graph.metadata.update({"family": "gnp", "n": n, "p": p})
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.bernoulli(p):
+                weight = rng.uniform(*weight_range) if weighted else 1.0
+                graph.add_edge(u, v, weight)
+    return graph
+
+
+def gnm(n: int, m: int, *, rng=None, weighted: bool = False,
+        weight_range: tuple[float, float] = (1.0, 10.0),
+        connected: bool = False) -> Graph:
+    """Erdős–Rényi ``G(n, m)``: exactly ``m`` edges chosen uniformly at random.
+
+    With ``connected=True`` the graph is first seeded with a uniform random
+    spanning tree (so ``m >= n - 1`` is required) and the remaining edges are
+    sampled among the non-tree pairs.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds the maximum {max_edges} for n={n}")
+    rng = ensure_rng(rng)
+    graph = Graph(nodes=range(n), name=f"gnm(n={n},m={m})")
+    graph.metadata.update({"family": "gnm", "n": n, "m": m, "connected": connected})
+
+    chosen: set[tuple[int, int]] = set()
+    if connected:
+        if n > 0 and m < n - 1:
+            raise ValueError(f"a connected graph on {n} nodes needs at least {n - 1} edges")
+        chosen.update(_random_spanning_tree_edges(n, rng))
+    remaining = m - len(chosen)
+    if remaining > 0:
+        if remaining >= (max_edges - len(chosen)) // 2:
+            pool = [pair for pair in itertools.combinations(range(n), 2)
+                    if pair not in chosen]
+            chosen.update(rng.sample(pool, remaining))
+        else:
+            while remaining > 0:
+                u, v = rng.randint(0, n - 1), rng.randint(0, n - 1)
+                if u == v:
+                    continue
+                pair = (u, v) if u < v else (v, u)
+                if pair in chosen:
+                    continue
+                chosen.add(pair)
+                remaining -= 1
+    for u, v in sorted(chosen):
+        weight = rng.uniform(*weight_range) if weighted else 1.0
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+def random_weighted_gnm(n: int, m: int, *, rng=None,
+                        weight_range: tuple[float, float] = (1.0, 100.0),
+                        connected: bool = True) -> Graph:
+    """Convenience wrapper: connected ``G(n, m)`` with uniform random weights."""
+    return gnm(n, m, rng=rng, weighted=True, weight_range=weight_range,
+               connected=connected)
+
+
+def _random_spanning_tree_edges(n: int, rng: RandomSource) -> set[tuple[int, int]]:
+    """Edges of a random spanning tree on ``0..n-1`` (random-permutation attachment)."""
+    edges: set[tuple[int, int]] = set()
+    if n <= 1:
+        return edges
+    order = list(range(n))
+    rng.shuffle(order)
+    for position in range(1, n):
+        node = order[position]
+        anchor = order[rng.randint(0, position - 1)]
+        edges.add((node, anchor) if node < anchor else (anchor, node))
+    return edges
+
+
+def random_geometric(n: int, radius: float, *, rng=None,
+                     weighted: bool = True) -> Graph:
+    """Random geometric graph: ``n`` points in the unit square, edges within ``radius``.
+
+    With ``weighted=True`` (the default, unlike the other generators) the edge
+    weight is the Euclidean distance, which makes these the natural "road
+    network"-style weighted instances.  Point coordinates are stored in
+    ``graph.metadata["positions"]``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    rng = ensure_rng(rng)
+    positions = {i: (rng.random(), rng.random()) for i in range(n)}
+    graph = Graph(nodes=range(n), name=f"geometric(n={n},r={radius})")
+    graph.metadata.update({"family": "geometric", "n": n, "radius": radius,
+                           "positions": positions})
+    for u in range(n):
+        xu, yu = positions[u]
+        for v in range(u + 1, n):
+            xv, yv = positions[v]
+            distance = math.hypot(xu - xv, yu - yv)
+            if distance <= radius:
+                graph.add_edge(u, v, distance if weighted else 1.0)
+    return graph
+
+
+def random_regular_like(n: int, degree: int, *, rng=None) -> Graph:
+    """Approximately ``degree``-regular random graph via the configuration model.
+
+    Half-edges are paired uniformly at random; self loops and parallel edges
+    are discarded, so the realised degrees can be slightly below ``degree``.
+    Good enough as a bounded-degree workload; exact regularity is not needed
+    by any experiment.
+    """
+    if degree >= n:
+        raise ValueError("degree must be smaller than n")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    rng = ensure_rng(rng)
+    stubs = [node for node in range(n) for _ in range(degree)]
+    rng.shuffle(stubs)
+    graph = Graph(nodes=range(n), name=f"regular_like(n={n},d={degree})")
+    graph.metadata.update({"family": "regular_like", "n": n, "degree": degree})
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+# --------------------------------------------------------------------------
+# Structured families
+# --------------------------------------------------------------------------
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` nodes ``0 - 1 - ... - (n-1)``."""
+    graph = Graph(nodes=range(n), name=f"path({n})")
+    graph.metadata.update({"family": "path", "n": n})
+    graph.add_edges((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    graph = path_graph(n)
+    graph.name = f"cycle({n})"
+    graph.metadata["family"] = "cycle"
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def complete_graph(n: int, *, weighted: bool = False, rng=None,
+                   weight_range: tuple[float, float] = (1.0, 10.0)) -> Graph:
+    """Complete graph ``K_n``, optionally with uniform random weights."""
+    rng = ensure_rng(rng)
+    graph = Graph(nodes=range(n), name=f"K{n}")
+    graph.metadata.update({"family": "complete", "n": n})
+    for u in range(n):
+        for v in range(u + 1, n):
+            weight = rng.uniform(*weight_range) if weighted else 1.0
+            graph.add_edge(u, v, weight)
+    return graph
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """Complete bipartite graph ``K_{a,b}``; the biclique of the lower bound.
+
+    Left part is ``0..a-1`` and right part is ``a..a+b-1``.
+    """
+    graph = Graph(nodes=range(a + b), name=f"K{a},{b}")
+    graph.metadata.update({"family": "complete_bipartite", "a": a, "b": b})
+    for u in range(a):
+        for v in range(a, a + b):
+            graph.add_edge(u, v)
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """Star with centre ``0`` and ``n`` leaves ``1..n``."""
+    graph = Graph(nodes=range(n + 1), name=f"star({n})")
+    graph.metadata.update({"family": "star", "leaves": n})
+    graph.add_edges((0, leaf) for leaf in range(1, n + 1))
+    return graph
+
+
+def grid_2d(rows: int, cols: int, *, diagonal: bool = False) -> Graph:
+    """``rows x cols`` grid; with ``diagonal=True`` also the down-right diagonals.
+
+    Nodes are labelled ``r * cols + c``.
+    """
+    graph = Graph(nodes=range(rows * cols), name=f"grid({rows}x{cols})")
+    graph.metadata.update({"family": "grid", "rows": rows, "cols": cols,
+                           "diagonal": diagonal})
+
+    def node_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(node_id(r, c), node_id(r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge(node_id(r, c), node_id(r + 1, c))
+            if diagonal and r + 1 < rows and c + 1 < cols:
+                graph.add_edge(node_id(r, c), node_id(r + 1, c + 1), math.sqrt(2.0))
+    return graph
+
+
+def hypercube(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube ``Q_d`` on ``2^d`` nodes."""
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+    n = 1 << dimension
+    graph = Graph(nodes=range(n), name=f"Q{dimension}")
+    graph.metadata.update({"family": "hypercube", "dimension": dimension})
+    for node in range(n):
+        for bit in range(dimension):
+            neighbor = node ^ (1 << bit)
+            if node < neighbor:
+                graph.add_edge(node, neighbor)
+    return graph
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Two ``K_{clique_size}`` cliques joined by a path of ``path_length`` edges."""
+    if clique_size < 1:
+        raise ValueError("clique_size must be positive")
+    total = 2 * clique_size + max(path_length - 1, 0)
+    graph = Graph(nodes=range(total), name=f"barbell({clique_size},{path_length})")
+    graph.metadata.update({"family": "barbell", "clique_size": clique_size,
+                           "path_length": path_length})
+    left = list(range(clique_size))
+    right = list(range(clique_size + max(path_length - 1, 0), total))
+    for part in (left, right):
+        for u, v in itertools.combinations(part, 2):
+            graph.add_edge(u, v)
+    # Path bridging the two cliques.
+    bridge = [left[-1]] + list(range(clique_size, clique_size + max(path_length - 1, 0))) + [right[0]]
+    for u, v in zip(bridge, bridge[1:]):
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def connected_caveman(num_cliques: int, clique_size: int) -> Graph:
+    """Connected caveman graph: a ring of ``num_cliques`` cliques of ``clique_size``.
+
+    One edge of each clique is rewired to the next clique, following the usual
+    construction; a highly clustered workload with small vertex cuts, which is
+    the worst case for fault tolerance.
+    """
+    if num_cliques < 2 or clique_size < 2:
+        raise ValueError("need at least 2 cliques of size at least 2")
+    n = num_cliques * clique_size
+    graph = Graph(nodes=range(n), name=f"caveman({num_cliques},{clique_size})")
+    graph.metadata.update({"family": "caveman", "num_cliques": num_cliques,
+                           "clique_size": clique_size})
+    for c in range(num_cliques):
+        members = list(range(c * clique_size, (c + 1) * clique_size))
+        for u, v in itertools.combinations(members, 2):
+            graph.add_edge(u, v)
+    for c in range(num_cliques):
+        u = c * clique_size            # first member of clique c
+        v = ((c + 1) % num_cliques) * clique_size + 1  # second member of next clique
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+# --------------------------------------------------------------------------
+# High-girth graphs (cages and incidence graphs) for the lower bound
+# --------------------------------------------------------------------------
+
+def petersen_graph() -> Graph:
+    """The Petersen graph: 10 nodes, 15 edges, girth 5 — the (3,5)-cage."""
+    graph = Graph(nodes=range(10), name="petersen")
+    graph.metadata.update({"family": "cage", "girth": 5, "degree": 3})
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    graph.add_edges(outer + spokes + inner)
+    return graph
+
+
+def heawood_graph() -> Graph:
+    """The Heawood graph: 14 nodes, 21 edges, girth 6 — the (3,6)-cage."""
+    graph = Graph(nodes=range(14), name="heawood")
+    graph.metadata.update({"family": "cage", "girth": 6, "degree": 3})
+    for i in range(14):
+        graph.add_edge(i, (i + 1) % 14)
+    # Chords of the standard LCF notation [5, -5]^7.
+    for i in range(0, 14, 2):
+        graph.add_edge(i, (i + 5) % 14)
+    return graph
+
+
+def mcgee_graph() -> Graph:
+    """The McGee graph: 24 nodes, 36 edges, girth 7 — the (3,7)-cage."""
+    graph = Graph(nodes=range(24), name="mcgee")
+    graph.metadata.update({"family": "cage", "girth": 7, "degree": 3})
+    # LCF notation [12, 7, -7]^8.
+    lcf = [12, 7, -7]
+    for i in range(24):
+        graph.add_edge(i, (i + 1) % 24)
+    for i in range(24):
+        offset = lcf[i % 3]
+        j = (i + offset) % 24
+        if not graph.has_edge(i, j):
+            graph.add_edge(i, j)
+    return graph
+
+
+def tutte_coxeter_graph() -> Graph:
+    """The Tutte–Coxeter (Levi) graph: 30 nodes, 45 edges, girth 8 — the (3,8)-cage."""
+    graph = Graph(nodes=range(30), name="tutte_coxeter")
+    graph.metadata.update({"family": "cage", "girth": 8, "degree": 3})
+    # LCF notation [-13, -9, 7, -7, 9, 13]^5.
+    lcf = [-13, -9, 7, -7, 9, 13]
+    for i in range(30):
+        graph.add_edge(i, (i + 1) % 30)
+    for i in range(30):
+        offset = lcf[i % 6]
+        j = (i + offset) % 30
+        if not graph.has_edge(i, j):
+            graph.add_edge(i, j)
+    return graph
+
+
+def _is_prime(q: int) -> bool:
+    if q < 2:
+        return False
+    if q % 2 == 0:
+        return q == 2
+    divisor = 3
+    while divisor * divisor <= q:
+        if q % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def incidence_projective_plane(q: int) -> Graph:
+    """Point–line incidence graph of the projective plane ``PG(2, q)``, prime ``q``.
+
+    This bipartite graph has ``2(q^2 + q + 1)`` nodes, ``(q + 1)(q^2 + q + 1)``
+    edges, and girth 6; asymptotically it achieves the Moore bound
+    ``b(n, 5) = Θ(n^{3/2})``, which makes it the densest available
+    girth-``> 5`` ingredient for the lower-bound product construction.
+
+    Only prime ``q`` is supported (arithmetic is over ``GF(q)`` directly);
+    prime powers would require field-extension arithmetic the experiments do
+    not need.
+
+    Points are labelled ``("p", i)`` and lines ``("l", j)``.
+    """
+    if not _is_prime(q):
+        raise ValueError(f"q must be prime, got {q}")
+
+    def normalize(vector: tuple[int, int, int]) -> tuple[int, int, int]:
+        # Scale so the first nonzero coordinate is 1 (canonical projective point).
+        for coordinate in vector:
+            if coordinate % q != 0:
+                inverse = pow(coordinate, q - 2, q)
+                return tuple((value * inverse) % q for value in vector)  # type: ignore[return-value]
+        raise ValueError("zero vector has no projective normalisation")
+
+    points: list[tuple[int, int, int]] = []
+    seen: set[tuple[int, int, int]] = set()
+    for x in range(q):
+        for y in range(q):
+            for z in range(q):
+                if x == y == z == 0:
+                    continue
+                canonical = normalize((x, y, z))
+                if canonical not in seen:
+                    seen.add(canonical)
+                    points.append(canonical)
+    # In PG(2, q) lines are also indexed by projective triples; a point lies on
+    # a line iff their dot product vanishes mod q.
+    lines = list(points)
+    graph = Graph(name=f"PG(2,{q})-incidence")
+    graph.metadata.update({"family": "projective_plane_incidence", "q": q, "girth": 6})
+    for index, point in enumerate(points):
+        graph.add_node(("p", index))
+    for index, line in enumerate(lines):
+        graph.add_node(("l", index))
+    for pi, point in enumerate(points):
+        for li, line in enumerate(lines):
+            if sum(a * b for a, b in zip(point, line)) % q == 0:
+                graph.add_edge(("p", pi), ("l", li))
+    return graph
+
+
+def high_girth_greedy(n: int, girth_target: int, *, rng=None,
+                      attempts_per_edge: int = 1) -> Graph:
+    """Random greedy graph on ``n`` nodes with girth ``> girth_target``.
+
+    Candidate edges are examined in random order and added whenever they do
+    not close a cycle of length ``<= girth_target``.  The result is maximal
+    with respect to the examined order, giving a dense-ish high-girth graph of
+    any requested size — the flexible counterpart to the fixed-size cages,
+    used to scale the lower-bound construction (E4).
+    """
+    from repro.graph.girth import _bounded_hop_distance  # local import to avoid cycle
+
+    if girth_target < 3:
+        raise ValueError("girth_target must be at least 3")
+    rng = ensure_rng(rng)
+    graph = Graph(nodes=range(n), name=f"high_girth(n={n},g>{girth_target})")
+    graph.metadata.update({"family": "high_girth_greedy", "n": n,
+                           "girth_target": girth_target})
+    candidates = list(itertools.combinations(range(n), 2))
+    rng.shuffle(candidates)
+    for u, v in candidates:
+        # Adding (u, v) creates a cycle of length <= girth_target iff u and v
+        # are already within girth_target - 1 hops of each other.
+        distance = _bounded_hop_distance(graph, u, v, girth_target - 1)
+        if distance > girth_target - 1:
+            graph.add_edge(u, v)
+    return graph
+
+
+CAGES = {
+    5: petersen_graph,
+    6: heawood_graph,
+    7: mcgee_graph,
+    8: tutte_coxeter_graph,
+}
+
+
+def cage(girth_value: int) -> Graph:
+    """Return the degree-3 cage of the requested girth (5, 6, 7, or 8)."""
+    try:
+        return CAGES[girth_value]()
+    except KeyError:
+        raise ValueError(
+            f"no built-in cage of girth {girth_value}; available: {sorted(CAGES)}"
+        ) from None
+
+
+def ensure_connected_gnm(n: int, m: int, *, rng=None, weighted: bool = False,
+                         max_attempts: int = 20) -> Graph:
+    """Sample connected ``G(n, m)`` graphs, retrying the RNG stream if needed.
+
+    ``gnm(..., connected=True)`` is already connected by construction; this
+    helper exists for callers who want plain uniform ``G(n, m)`` conditioned
+    on connectivity (used by a few tests to cross-check the two samplers).
+    """
+    rng = ensure_rng(rng)
+    for attempt in range(max_attempts):
+        graph = gnm(n, m, rng=rng.spawn("attempt", attempt), weighted=weighted)
+        if is_connected(graph):
+            return graph
+    return gnm(n, m, rng=rng.spawn("fallback"), weighted=weighted, connected=True)

@@ -1,0 +1,194 @@
+"""Girth computation (in number of edges, ignoring weights).
+
+The paper's central quantity ``b(n, k)`` counts edges in graphs of girth
+``> k``, and blocking sets (Definition 3) talk about cycles on at most ``k``
+edges; both are *hop-count* notions, so all routines here treat the graph as
+unweighted.
+
+The exact algorithm used is the per-edge formulation: the shortest cycle
+through an edge ``{u, v}`` is that edge plus the shortest ``u``–``v`` path in
+the graph with the edge removed, and the girth is the minimum over all edges.
+This is ``O(m (n + m))`` in the worst case but every search is depth-bounded
+by the best cycle found so far (and by the caller's ``cutoff``), which makes
+the common "girth > k + 1?" checks fast.  Unlike the BFS-per-vertex bound it
+has no parity/tree-edge corner cases, so it doubles as the independent oracle
+the tests use.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.graph.core import Node, edge_key
+from repro.graph.views import ExclusionView
+
+
+def _bounded_hop_distance(graph, source: Node, target: Node,
+                          max_hops: Optional[int],
+                          skip_edge: Optional[Tuple[Node, Node]] = None) -> float:
+    """Unweighted distance from ``source`` to ``target``.
+
+    The search is abandoned (returning ``inf``) once all nodes within
+    ``max_hops`` hops have been expanded, and the edge ``skip_edge`` (in either
+    orientation) is ignored if given.
+    """
+    if source == target:
+        return 0.0
+    skip = edge_key(*skip_edge) if skip_edge is not None else None
+    dist: dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_dist = dist[node] + 1
+        if max_hops is not None and next_dist > max_hops:
+            continue
+        for neighbor in graph.neighbors(node):
+            if skip is not None and edge_key(node, neighbor) == skip:
+                continue
+            if neighbor in dist:
+                continue
+            if neighbor == target:
+                return float(next_dist)
+            dist[neighbor] = next_dist
+            queue.append(neighbor)
+    return math.inf
+
+
+def shortest_cycle_through_edge(graph, u: Node, v: Node,
+                                cutoff: Optional[int] = None) -> Tuple[float, List[Node]]:
+    """Shortest (hop-count) cycle containing the edge ``{u, v}``.
+
+    Returns ``(length, cycle_nodes)`` where ``cycle_nodes`` lists the cycle
+    starting at ``u`` and ending at ``v`` (the closing edge ``v``–``u`` is
+    implicit).  If no cycle of length ``<= cutoff`` (or none at all) contains
+    the edge, returns ``(inf, [])``.
+    """
+    if not graph.has_edge(u, v):
+        raise ValueError(f"edge ({u!r}, {v!r}) not in graph")
+    max_hops = None if cutoff is None else cutoff - 1
+    view = ExclusionView(graph, excluded_edges=[(u, v)])
+    # BFS with parents so the witness path can be reconstructed.
+    dist: dict[Node, int] = {u: 0}
+    parent: dict[Node, Optional[Node]] = {u: None}
+    queue: deque[Node] = deque([u])
+    found = False
+    while queue and not found:
+        node = queue.popleft()
+        next_dist = dist[node] + 1
+        if max_hops is not None and next_dist > max_hops:
+            continue
+        for neighbor in view.neighbors(node):
+            if neighbor in dist:
+                continue
+            dist[neighbor] = next_dist
+            parent[neighbor] = node
+            if neighbor == v:
+                found = True
+                break
+            queue.append(neighbor)
+    if v not in dist:
+        return math.inf, []
+    path: List[Node] = []
+    node: Optional[Node] = v
+    while node is not None:
+        path.append(node)
+        node = parent[node]
+    path.reverse()  # u ... v
+    return float(dist[v] + 1), path
+
+
+def girth(graph, cutoff: Optional[int] = None) -> float:
+    """Exact girth of ``graph`` in edges; ``inf`` for forests.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.Graph` or :class:`~repro.graph.ExclusionView`.
+    cutoff:
+        If given, only cycles of length at most ``cutoff`` matter to the
+        caller; the return value is exact whenever it is ``<= cutoff`` and is
+        ``inf`` otherwise.  Passing ``k + 1`` makes the frequent
+        "does the pruned graph have girth > k + 1?" checks much cheaper.
+    """
+    best = math.inf
+    for u, v, _ in graph.edges():
+        limit = best if cutoff is None else min(best, cutoff + 1)
+        max_hops = None if limit == math.inf else int(limit) - 2
+        if max_hops is not None and max_hops < 1:
+            # Even a cycle of length ``limit - 1`` is impossible to beat.
+            continue
+        through = 1.0 + _bounded_hop_distance(graph, u, v, max_hops, skip_edge=(u, v))
+        if through < best:
+            best = through
+            if best == 3:
+                return 3.0
+    if cutoff is not None and best > cutoff:
+        return math.inf
+    return best
+
+
+def has_cycle_at_most(graph, k: int) -> bool:
+    """Whether the graph contains a cycle on at most ``k`` edges."""
+    if k < 3:
+        return False
+    return girth(graph, cutoff=k) <= k
+
+
+def girth_exceeds(graph, k: int) -> bool:
+    """Whether ``girth(graph) > k`` — the property Lemma 4's output must have."""
+    return not has_cycle_at_most(graph, k)
+
+
+def enumerate_short_cycles(graph, max_length: int) -> List[List[Node]]:
+    """Enumerate all simple cycles with at most ``max_length`` edges.
+
+    Cycles are returned as node lists (without repeating the starting node)
+    and each cycle appears exactly once, deduplicated by its edge set.
+
+    The running time is exponential in ``max_length``, but ``max_length`` is
+    ``k + 1`` (a small constant) wherever the library uses this.  It is the
+    independent oracle used to *verify* blocking sets (Definition 3), not to
+    construct them.
+    """
+    if max_length < 3:
+        return []
+    nodes = list(graph.nodes())
+    index = {node: position for position, node in enumerate(nodes)}
+    found: dict[frozenset, List[Node]] = {}
+
+    def extend(path: List[Node], on_path: set) -> None:
+        start, last = path[0], path[-1]
+        for neighbor in graph.neighbors(last):
+            if neighbor == start and len(path) >= 3:
+                edges = frozenset(
+                    edge_key(path[i], path[(i + 1) % len(path)])
+                    for i in range(len(path))
+                )
+                found.setdefault(edges, list(path))
+                continue
+            if neighbor in on_path:
+                continue
+            # Only extend through nodes with a larger index than the start so
+            # each cycle is discovered from its minimum-index vertex only.
+            if index[neighbor] <= index[start]:
+                continue
+            if len(path) + 1 > max_length:
+                continue
+            path.append(neighbor)
+            on_path.add(neighbor)
+            extend(path, on_path)
+            on_path.discard(neighbor)
+            path.pop()
+
+    for start in nodes:
+        extend([start], {start})
+    return list(found.values())
+
+
+def cycle_edges(cycle: List[Node]) -> List[Tuple[Node, Node]]:
+    """Return the canonicalised edge list of a cycle given as a node list."""
+    return [
+        edge_key(cycle[i], cycle[(i + 1) % len(cycle)]) for i in range(len(cycle))
+    ]

@@ -1,0 +1,136 @@
+"""Graph serialisation: weighted edge lists and JSON documents.
+
+Two formats are supported:
+
+* **edge list** — one ``u v weight`` line per edge, ``#``-prefixed comments,
+  the format most graph datasets ship in;
+* **JSON** — a self-describing document carrying the node list (so isolated
+  vertices survive a round trip), the edge list, the graph name, and the
+  JSON-serialisable part of ``metadata``.
+
+Node labels in edge lists are parsed as integers when possible and kept as
+strings otherwise; JSON restores integer labels exactly and stringifies
+everything else.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+from repro.graph.core import Graph, GraphError
+
+PathLike = Union[str, Path]
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+# --------------------------------------------------------------------------
+# Edge lists
+# --------------------------------------------------------------------------
+
+def write_edge_list(graph: Graph, path: PathLike, *, header: bool = True) -> None:
+    """Write ``graph`` as a whitespace-separated edge list."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# {graph.name or 'graph'}\n")
+            handle.write(f"# nodes={graph.number_of_nodes()} edges={graph.number_of_edges()}\n")
+        for u, v, w in graph.edges():
+            handle.write(f"{u} {v} {w}\n")
+
+
+def read_edge_list(path: PathLike, *, name: str = "") -> Graph:
+    """Read an edge list written by :func:`write_edge_list` (or compatible files).
+
+    Lines may have two tokens (``u v``, weight 1) or three (``u v weight``).
+    Blank lines and ``#`` comments are skipped.
+    """
+    path = Path(path)
+    graph = Graph(name=name or path.stem)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            tokens = stripped.split()
+            if len(tokens) == 2:
+                u, v = map(_parse_node, tokens)
+                graph.add_edge(u, v)
+            elif len(tokens) == 3:
+                u, v = map(_parse_node, tokens[:2])
+                graph.add_edge(u, v, float(tokens[2]))
+            else:
+                raise GraphError(
+                    f"{path}:{line_number}: expected 2 or 3 tokens, got {len(tokens)}"
+                )
+    return graph
+
+
+# --------------------------------------------------------------------------
+# JSON
+# --------------------------------------------------------------------------
+
+def _json_safe_metadata(metadata: dict) -> dict:
+    safe = {}
+    for key, value in metadata.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            continue
+        safe[key] = value
+    return safe
+
+
+def graph_to_json(graph: Graph) -> dict:
+    """Return a JSON-serialisable dict describing ``graph``."""
+    return {
+        "format": "repro-graph",
+        "version": 1,
+        "name": graph.name,
+        "nodes": list(graph.nodes()),
+        "edges": [[u, v, w] for u, v, w in graph.edges()],
+        "metadata": _json_safe_metadata(graph.metadata),
+    }
+
+
+def graph_from_json(document: dict) -> Graph:
+    """Rebuild a :class:`Graph` from :func:`graph_to_json` output."""
+    if document.get("format") != "repro-graph":
+        raise GraphError("not a repro-graph JSON document")
+    graph = Graph(name=document.get("name", ""))
+    for node in document.get("nodes", []):
+        graph.add_node(_restore_node(node))
+    for u, v, w in document.get("edges", []):
+        graph.add_edge(_restore_node(u), _restore_node(v), float(w))
+    graph.metadata.update(document.get("metadata", {}))
+    return graph
+
+
+def _restore_node(node):
+    # JSON turns tuples into lists; restore them so product-graph labels like
+    # ("p", 3) round trip.  Nested lists are restored recursively.
+    if isinstance(node, list):
+        return tuple(_restore_node(item) for item in node)
+    return node
+
+
+def write_json(graph: Graph, path: PathLike, *, indent: int = 2) -> None:
+    """Serialise ``graph`` to a JSON file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(graph_to_json(graph), handle, indent=indent)
+        handle.write("\n")
+
+
+def read_json(path: PathLike) -> Graph:
+    """Load a graph from a JSON file written by :func:`write_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return graph_from_json(json.load(handle))

@@ -1,0 +1,35 @@
+"""Shortest-path primitives.
+
+Everything the spanner algorithms need: single-source Dijkstra, distance
+queries that stop early once a budget is exceeded (the hot path of the greedy
+algorithms), bidirectional search, unweighted BFS, and all-pairs helpers.
+All functions accept either a :class:`repro.graph.Graph` or an
+:class:`repro.graph.ExclusionView` (``H \\ F``).
+"""
+
+from repro.paths.dijkstra import (
+    dijkstra_distances,
+    dijkstra_tree,
+    shortest_path,
+    shortest_path_distance,
+    bounded_distance,
+    bidirectional_distance,
+)
+from repro.paths.bfs import bfs_distances, bfs_path, hop_distance, eccentricity
+from repro.paths.apsp import all_pairs_distances, all_pairs_hop_distances, diameter
+
+__all__ = [
+    "dijkstra_distances",
+    "dijkstra_tree",
+    "shortest_path",
+    "shortest_path_distance",
+    "bounded_distance",
+    "bidirectional_distance",
+    "bfs_distances",
+    "bfs_path",
+    "hop_distance",
+    "eccentricity",
+    "all_pairs_distances",
+    "all_pairs_hop_distances",
+    "diameter",
+]

@@ -1,0 +1,67 @@
+"""All-pairs shortest paths and derived global statistics.
+
+Used by the stretch-verification code (which must compare the spanner's
+distances against the original graph's for every pair) and by the examples
+when they report diameters and average stretch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Optional
+
+from repro.paths.bfs import bfs_distances
+from repro.paths.dijkstra import dijkstra_distances
+
+Node = Hashable
+
+
+def all_pairs_distances(graph, *, unweighted: bool = False,
+                        cutoff: Optional[float] = None) -> Dict[Node, Dict[Node, float]]:
+    """Weighted (or hop) distances between all pairs, as a nested dict.
+
+    Pairs separated by more than ``cutoff`` (or disconnected) are simply
+    absent from the inner dictionaries, matching the single-source functions.
+    """
+    result: Dict[Node, Dict[Node, float]] = {}
+    for source in graph.nodes():
+        if unweighted:
+            max_hops = None if cutoff is None else int(cutoff)
+            result[source] = {
+                node: float(dist)
+                for node, dist in bfs_distances(graph, source, max_hops=max_hops).items()
+            }
+        else:
+            result[source] = dijkstra_distances(graph, source, cutoff=cutoff)
+    return result
+
+
+def all_pairs_hop_distances(graph) -> Dict[Node, Dict[Node, float]]:
+    """Hop distances between all pairs (convenience wrapper)."""
+    return all_pairs_distances(graph, unweighted=True)
+
+
+def diameter(graph, *, unweighted: bool = False) -> float:
+    """Largest finite pairwise distance (``0`` for graphs with < 2 nodes).
+
+    Disconnected graphs return the largest distance *within* a component; use
+    :func:`repro.graph.is_connected` first if that distinction matters.
+    """
+    best = 0.0
+    for source, distances in all_pairs_distances(graph, unweighted=unweighted).items():
+        for target, value in distances.items():
+            if target != source and value > best and value != math.inf:
+                best = value
+    return best
+
+
+def average_distance(graph, *, unweighted: bool = False) -> float:
+    """Mean finite distance over all ordered pairs of distinct nodes."""
+    total, pairs = 0.0, 0
+    for source, distances in all_pairs_distances(graph, unweighted=unweighted).items():
+        for target, value in distances.items():
+            if target == source or value == math.inf:
+                continue
+            total += value
+            pairs += 1
+    return total / pairs if pairs else 0.0

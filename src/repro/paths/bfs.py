@@ -1,0 +1,96 @@
+"""Unweighted (hop-count) shortest paths.
+
+Hop distances show up wherever the paper talks about cycles "on at most k
+edges" (blocking sets, girth) and wherever a workload is unweighted — in the
+unit-weight case BFS is both the faster and the exact choice, and the spanner
+code automatically routes distance queries here when the graph is unweighted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Tuple
+
+Node = Hashable
+
+
+def bfs_distances(graph, source: Node,
+                  max_hops: Optional[int] = None) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every node within ``max_hops``."""
+    if not graph.has_node(source):
+        raise ValueError(f"source {source!r} not in graph")
+    distances: Dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_dist = distances[node] + 1
+        if max_hops is not None and next_dist > max_hops:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = next_dist
+                queue.append(neighbor)
+    return distances
+
+
+def hop_distance(graph, source: Node, target: Node,
+                 max_hops: Optional[int] = None) -> float:
+    """Hop distance between two nodes; ``inf`` if unreachable within ``max_hops``."""
+    if not graph.has_node(source) or not graph.has_node(target):
+        return math.inf
+    if source == target:
+        return 0.0
+    distances: Dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_dist = distances[node] + 1
+        if max_hops is not None and next_dist > max_hops:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor in distances:
+                continue
+            if neighbor == target:
+                return float(next_dist)
+            distances[neighbor] = next_dist
+            queue.append(neighbor)
+    return math.inf
+
+
+def bfs_path(graph, source: Node, target: Node,
+             max_hops: Optional[int] = None) -> Tuple[float, List[Node]]:
+    """Hop distance and one shortest (fewest-hop) path; ``(inf, [])`` if none."""
+    if not graph.has_node(source) or not graph.has_node(target):
+        return math.inf, []
+    if source == target:
+        return 0.0, [source]
+    parents: Dict[Node, Node] = {}
+    distances: Dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_dist = distances[node] + 1
+        if max_hops is not None and next_dist > max_hops:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor in distances:
+                continue
+            distances[neighbor] = next_dist
+            parents[neighbor] = node
+            if neighbor == target:
+                path: List[Node] = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return float(next_dist), path
+            queue.append(neighbor)
+    return math.inf, []
+
+
+def eccentricity(graph, node: Node) -> float:
+    """Maximum hop distance from ``node`` to any node reachable from it."""
+    distances = bfs_distances(graph, node)
+    if len(distances) <= 1:
+        return 0.0
+    return float(max(distances.values()))

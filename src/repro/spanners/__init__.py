@@ -1,0 +1,59 @@
+"""Spanner constructions, fault-check oracles, verification, and blocking sets.
+
+This package is the paper's primary contribution:
+
+* :func:`greedy_spanner` — the classic (non-fault-tolerant) greedy algorithm
+  of Althöfer et al., the baseline everything is measured against;
+* :func:`ft_greedy_spanner` — **Algorithm 1** of the paper, the VFT/EFT greedy
+  algorithm, with pluggable fault-check oracles;
+* :mod:`repro.spanners.fault_check` — the oracles answering "is there a fault
+  set of size ≤ f that pushes the distance above k·w?";
+* :mod:`repro.spanners.verify` — spanner / FT-spanner verification and stretch
+  measurement;
+* :mod:`repro.spanners.blocking` — blocking sets (Definition 3), the Lemma 3
+  extraction, and the Lemma 4 subsampling argument.
+"""
+
+from repro.spanners.base import SpannerResult
+from repro.spanners.greedy import greedy_spanner
+from repro.spanners.ft_greedy import ft_greedy_spanner
+from repro.spanners.fault_check import (
+    FaultCheckOracle,
+    ExhaustiveOracle,
+    BranchAndBoundOracle,
+    GreedyPathPackingOracle,
+    get_oracle,
+)
+from repro.spanners.verify import (
+    stretch_of,
+    is_spanner,
+    is_ft_spanner,
+    FTVerificationReport,
+)
+from repro.spanners.blocking import (
+    BlockingSet,
+    extract_blocking_set,
+    is_blocking_set,
+    lemma4_subsample,
+    Lemma4Result,
+)
+
+__all__ = [
+    "SpannerResult",
+    "greedy_spanner",
+    "ft_greedy_spanner",
+    "FaultCheckOracle",
+    "ExhaustiveOracle",
+    "BranchAndBoundOracle",
+    "GreedyPathPackingOracle",
+    "get_oracle",
+    "stretch_of",
+    "is_spanner",
+    "is_ft_spanner",
+    "FTVerificationReport",
+    "BlockingSet",
+    "extract_blocking_set",
+    "is_blocking_set",
+    "lemma4_subsample",
+    "Lemma4Result",
+]

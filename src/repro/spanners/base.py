@@ -1,0 +1,118 @@
+"""Common result type shared by all spanner constructions.
+
+Every construction in the library (greedy, FT greedy, and the baselines)
+returns a :class:`SpannerResult`, so the experiment harness can treat them
+interchangeably: it reads the spanner graph, the construction parameters, the
+per-edge witness fault sets (when the construction produces them — the FT
+greedy does, and Lemma 3 turns them into a blocking set), and a few counters
+describing how much work the construction did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.faults.models import FaultSet
+from repro.graph.core import Graph, Node
+
+EdgeKey = Tuple[Node, Node]
+
+
+@dataclass
+class SpannerResult:
+    """The output of a spanner construction plus its provenance.
+
+    Attributes
+    ----------
+    spanner:
+        The constructed subgraph ``H``.
+    original:
+        The input graph ``G`` the construction ran on (kept by reference; it
+        is never mutated by the constructions).
+    stretch:
+        The stretch parameter ``k``.
+    max_faults:
+        The fault budget ``f`` (0 for non-fault-tolerant constructions).
+    fault_model:
+        ``"vertex"``, ``"edge"``, or ``"none"``.
+    algorithm:
+        Human-readable name of the construction ("ft-greedy", "greedy",
+        "dk-sampling", ...).
+    witness_fault_sets:
+        For the FT greedy algorithm: the fault set ``F_e`` that justified
+        adding each edge ``e`` (Lemma 3 builds the blocking set from exactly
+        these).  Empty for constructions that do not produce witnesses.
+    edges_considered / edges_added:
+        Work counters of the construction.
+    oracle_queries / distance_queries:
+        How many fault-check oracle calls and bounded-distance computations
+        were made (for the runtime experiment E8).
+    construction_seconds:
+        Wall-clock construction time.
+    parameters:
+        Any further algorithm-specific parameters worth reporting.
+    """
+
+    spanner: Graph
+    original: Graph
+    stretch: float
+    max_faults: int = 0
+    fault_model: str = "none"
+    algorithm: str = ""
+    witness_fault_sets: Dict[EdgeKey, FaultSet] = field(default_factory=dict)
+    edges_considered: int = 0
+    edges_added: int = 0
+    oracle_queries: int = 0
+    distance_queries: int = 0
+    construction_seconds: float = 0.0
+    parameters: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def size(self) -> int:
+        """Number of edges in the spanner."""
+        return self.spanner.number_of_edges()
+
+    @property
+    def original_size(self) -> int:
+        """Number of edges in the input graph."""
+        return self.original.number_of_edges()
+
+    @property
+    def compression_ratio(self) -> float:
+        """``|E(H)| / |E(G)|`` (1.0 when the input graph has no edges)."""
+        if self.original_size == 0:
+            return 1.0
+        return self.size / self.original_size
+
+    @property
+    def weight_ratio(self) -> float:
+        """Total spanner weight divided by total input weight."""
+        total = self.original.total_weight()
+        if total == 0:
+            return 1.0
+        return self.spanner.total_weight() / total
+
+    def summary(self) -> dict:
+        """Flat dictionary of the headline numbers (for result tables)."""
+        return {
+            "algorithm": self.algorithm,
+            "fault_model": self.fault_model,
+            "n": self.original.number_of_nodes(),
+            "m": self.original_size,
+            "stretch": self.stretch,
+            "f": self.max_faults,
+            "spanner_edges": self.size,
+            "compression_ratio": self.compression_ratio,
+            "weight_ratio": self.weight_ratio,
+            "oracle_queries": self.oracle_queries,
+            "distance_queries": self.distance_queries,
+            "seconds": self.construction_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpannerResult {self.algorithm} k={self.stretch} f={self.max_faults} "
+            f"({self.fault_model}) edges={self.size}/{self.original_size}>"
+        )

@@ -1,0 +1,361 @@
+"""Blocking sets: Definition 3, Lemma 3, and Lemma 4 of the paper.
+
+A ``k``-blocking set of a graph ``G`` is a set ``B ⊆ V × E`` such that every
+pair ``(v, e) ∈ B`` has ``v ∉ e`` and every cycle of ``G`` on at most ``k``
+edges contains both the vertex and the edge of some pair in ``B``.
+
+* **Lemma 3** — the FT greedy output has a ``(k + 1)``-blocking set of size at
+  most ``f · |E(H)|``: for each kept edge ``e`` take its witness fault set
+  ``F_e`` and add ``(x, e)`` for every ``x ∈ F_e``.
+  :func:`extract_blocking_set` implements exactly this.
+* **Lemma 4** — any graph with such a blocking set contains a subgraph on
+  ``O(n/f)`` nodes with ``Ω(m/f²)`` edges and girth ``> k + 1``:
+  sample ``⌈n/(2f)⌉`` vertices, keep the induced subgraph, and delete every
+  edge that appears in a fully-surviving blocking pair.
+  :func:`lemma4_subsample` implements the sampling experiment.
+* The closing remark of Section 2 defines **edge blocking sets** (pairs of
+  edges instead of vertex–edge pairs); :func:`extract_edge_blocking_set` and
+  :func:`is_edge_blocking_set` cover those for experiment E10.
+
+Verification uses exhaustive short-cycle enumeration
+(:func:`repro.graph.girth.enumerate_short_cycles`) as an independent oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.graph.core import Graph, Node, edge_key
+from repro.graph.girth import cycle_edges, enumerate_short_cycles, girth
+from repro.spanners.base import SpannerResult
+from repro.utils.rng import ensure_rng
+
+EdgeKey = Tuple[Node, Node]
+VertexBlockingPair = Tuple[Node, EdgeKey]
+EdgeBlockingPair = Tuple[EdgeKey, EdgeKey]
+
+
+@dataclass(frozen=True)
+class BlockingSet:
+    """A (vertex or edge) blocking set together with its provenance.
+
+    Attributes
+    ----------
+    kind:
+        ``"vertex"`` for Definition 3 blocking sets (pairs ``(vertex, edge)``)
+        or ``"edge"`` for the edge blocking sets of the closing remark (pairs
+        ``(edge, edge)``).
+    pairs:
+        The blocking pairs, canonicalised (edges as ``(min, max)`` keys).
+    cycle_bound:
+        The ``k`` such that the set is claimed to block all cycles on at most
+        ``k`` edges (``k + 1`` when extracted from a ``k``-stretch greedy run).
+    source:
+        Free-form description of where the set came from.
+    """
+
+    kind: str
+    pairs: FrozenSet[Tuple[Hashable, EdgeKey]]
+    cycle_bound: int
+    source: str = ""
+
+    @property
+    def size(self) -> int:
+        """Number of blocking pairs."""
+        return len(self.pairs)
+
+    def blockers_of(self, edge: EdgeKey) -> List[Hashable]:
+        """All blockers paired with a given edge."""
+        target = edge_key(*edge)
+        return [blocker for blocker, e in self.pairs if e == target]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+
+# --------------------------------------------------------------------------
+# Lemma 3: extraction from a greedy run
+# --------------------------------------------------------------------------
+
+def extract_blocking_set(result: SpannerResult) -> BlockingSet:
+    """Build the Lemma 3 blocking set from an FT greedy result.
+
+    For a vertex-fault run this is the ``(k + 1)``-blocking set
+    ``B = {(x, e) : e ∈ E(H), x ∈ F_e}`` of size at most ``f · |E(H)|``;
+    for an edge-fault run it is the analogous edge blocking set.
+
+    Raises ``ValueError`` if the result carries no witness fault sets (e.g.
+    the construction was run with ``record_witnesses=False`` or is not the FT
+    greedy algorithm).
+    """
+    if result.fault_model not in ("vertex", "edge"):
+        raise ValueError(
+            f"blocking sets are defined for FT greedy runs, not {result.algorithm!r}"
+        )
+    if result.max_faults > 0 and result.size > 0 and not result.witness_fault_sets:
+        raise ValueError("the spanner result carries no witness fault sets")
+
+    pairs: set = set()
+    for edge, fault_set in result.witness_fault_sets.items():
+        canonical_edge = edge_key(*edge)
+        for element in fault_set:
+            if result.fault_model == "vertex":
+                pairs.add((element, canonical_edge))
+            else:
+                pairs.add((edge_key(*element), canonical_edge))
+    cycle_bound = int(math.floor(result.stretch)) + 1
+    return BlockingSet(
+        kind=result.fault_model,
+        pairs=frozenset(pairs),
+        cycle_bound=cycle_bound,
+        source=f"lemma3({result.algorithm}, k={result.stretch}, f={result.max_faults})",
+    )
+
+
+# --------------------------------------------------------------------------
+# Verification (Definition 3 and the edge analogue)
+# --------------------------------------------------------------------------
+
+def is_blocking_set(graph: Graph, blocking_set: "BlockingSet | Iterable[VertexBlockingPair]",
+                    cycle_bound: Optional[int] = None) -> bool:
+    """Check Definition 3 exhaustively.
+
+    Conditions checked:
+
+    1. every pair ``(v, e)`` has ``v ∉ e`` (and both exist in ``graph``);
+    2. every cycle of ``graph`` on at most ``cycle_bound`` edges contains both
+       the vertex and the edge of some pair.
+
+    ``cycle_bound`` defaults to the blocking set's own ``cycle_bound``.
+    """
+    pairs, bound = _normalise(blocking_set, cycle_bound, expected_kind="vertex")
+    by_edge: dict[EdgeKey, set] = {}
+    for vertex, edge in pairs:
+        u, v = edge
+        if vertex == u or vertex == v:
+            return False
+        if not graph.has_edge(u, v) or not graph.has_node(vertex):
+            return False
+        by_edge.setdefault(edge, set()).add(vertex)
+
+    for cycle in enumerate_short_cycles(graph, bound):
+        cycle_nodes = set(cycle)
+        edges = cycle_edges(cycle)
+        blocked = False
+        for edge in edges:
+            blockers = by_edge.get(edge)
+            if blockers and blockers & cycle_nodes:
+                blocked = True
+                break
+        if not blocked:
+            return False
+    return True
+
+
+def unblocked_cycles(graph: Graph, blocking_set: BlockingSet,
+                     cycle_bound: Optional[int] = None) -> List[List[Node]]:
+    """Return the short cycles *not* blocked (empty iff the set is valid).
+
+    Useful in experiments and tests for reporting counterexamples.
+    """
+    pairs, bound = _normalise(blocking_set, cycle_bound, expected_kind=blocking_set.kind)
+    failures = []
+    for cycle in enumerate_short_cycles(graph, bound):
+        if not _cycle_blocked(cycle, pairs, blocking_set.kind):
+            failures.append(cycle)
+    return failures
+
+
+def is_edge_blocking_set(graph: Graph,
+                         blocking_set: "BlockingSet | Iterable[EdgeBlockingPair]",
+                         cycle_bound: Optional[int] = None) -> bool:
+    """Check the edge-blocking-set property from the closing remark of §2.
+
+    Every cycle on at most ``cycle_bound`` edges must contain *both* edges of
+    some pair, and the two edges of every pair must be distinct edges of the
+    graph.
+    """
+    pairs, bound = _normalise(blocking_set, cycle_bound, expected_kind="edge")
+    for first, second in pairs:
+        if first == second:
+            return False
+        if not graph.has_edge(*first) or not graph.has_edge(*second):
+            return False
+    for cycle in enumerate_short_cycles(graph, bound):
+        if not _cycle_blocked(cycle, pairs, "edge"):
+            return False
+    return True
+
+
+def _cycle_blocked(cycle: List[Node], pairs, kind: str) -> bool:
+    cycle_nodes = set(cycle)
+    edges = set(cycle_edges(cycle))
+    if kind == "vertex":
+        return any(edge in edges and vertex in cycle_nodes for vertex, edge in pairs)
+    return any(first in edges and second in edges for first, second in pairs)
+
+
+def _normalise(blocking_set, cycle_bound, expected_kind: str):
+    if isinstance(blocking_set, BlockingSet):
+        if blocking_set.kind != expected_kind:
+            raise ValueError(
+                f"expected a {expected_kind} blocking set, got {blocking_set.kind}"
+            )
+        bound = cycle_bound if cycle_bound is not None else blocking_set.cycle_bound
+        raw_pairs = blocking_set.pairs
+    else:
+        if cycle_bound is None:
+            raise ValueError("cycle_bound is required when passing raw pairs")
+        bound = cycle_bound
+        raw_pairs = blocking_set
+    if expected_kind == "vertex":
+        pairs = {(vertex, edge_key(*edge)) for vertex, edge in raw_pairs}
+    else:
+        pairs = {(edge_key(*first), edge_key(*second)) for first, second in raw_pairs}
+    return pairs, bound
+
+
+def extract_edge_blocking_set(result: SpannerResult) -> BlockingSet:
+    """Edge-blocking-set analogue of Lemma 3, for EFT greedy runs."""
+    if result.fault_model != "edge":
+        raise ValueError("edge blocking sets come from edge-fault greedy runs")
+    return extract_blocking_set(result)
+
+
+# --------------------------------------------------------------------------
+# Lemma 4: subsampling to a high-girth subgraph
+# --------------------------------------------------------------------------
+
+@dataclass
+class Lemma4Result:
+    """Outcome of one (or the best of several) Lemma 4 subsampling trials.
+
+    Attributes mirror the lemma statement: the pruned subgraph ``H''``, its
+    node and edge counts, whether its girth really exceeds ``k + 1``, and the
+    quantities the expectation argument predicts (``m / (4 f²) - |B| / (8 f³)``).
+    """
+
+    subgraph: Graph
+    sampled_nodes: int
+    surviving_edges: int
+    girth_bound: int
+    girth_ok: bool
+    expected_edges_lower_bound: float
+    trials: int = 1
+
+    @property
+    def edges_per_expectation(self) -> float:
+        """Measured surviving edges divided by the lemma's expectation bound."""
+        if self.expected_edges_lower_bound <= 0:
+            return math.inf
+        return self.surviving_edges / self.expected_edges_lower_bound
+
+
+def lemma4_subsample(graph: Graph, blocking_set: BlockingSet, max_faults: int,
+                     cycle_bound: Optional[int] = None, *, rng=None,
+                     trials: int = 1, sample_size: Optional[int] = None,
+                     check_girth: bool = True) -> Lemma4Result:
+    """Run the Lemma 4 sampling argument and return the best trial.
+
+    Parameters
+    ----------
+    graph:
+        The graph ``H`` (typically an FT greedy output).
+    blocking_set:
+        A vertex blocking set of ``graph`` (typically from Lemma 3).
+    max_faults:
+        The ``f`` in the lemma: the sample has ``⌈n / (2f)⌉`` vertices.
+    cycle_bound:
+        The ``k + 1`` the pruned subgraph's girth must exceed; defaults to the
+        blocking set's bound.
+    trials:
+        Number of independent samples; the one with the most surviving edges
+        is returned ("there exists a setting matching the expectation").
+    sample_size:
+        Override the number of sampled vertices (used by the E6 ablation of
+        the ``1/(2f)`` constant).
+    check_girth:
+        Girth verification can be skipped when the caller only needs the edge
+        counts (it is the expensive part on large samples).
+    """
+    if blocking_set.kind != "vertex":
+        raise ValueError("Lemma 4 subsampling needs a vertex blocking set")
+    if max_faults < 1:
+        raise ValueError("max_faults must be at least 1 for the sampling argument")
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    rng = ensure_rng(rng)
+    bound = cycle_bound if cycle_bound is not None else blocking_set.cycle_bound
+
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    nodes = list(graph.nodes())
+    size = sample_size if sample_size is not None else math.ceil(n / (2 * max_faults))
+    size = max(0, min(size, n))
+
+    expected = m / (4.0 * max_faults ** 2) - len(blocking_set) / (8.0 * max_faults ** 3)
+
+    best: Optional[Lemma4Result] = None
+    for trial in range(trials):
+        sampled = rng.sample(nodes, size) if size > 0 else []
+        sampled_set = set(sampled)
+        induced = graph.subgraph(sampled)
+        # Delete every edge appearing in a fully-surviving blocking pair.
+        doomed_edges = {
+            edge for vertex, edge in blocking_set.pairs
+            if vertex in sampled_set and edge[0] in sampled_set and edge[1] in sampled_set
+        }
+        pruned = Graph(nodes=induced.nodes(), name=f"{graph.name}-lemma4")
+        for u, v, w in induced.edges():
+            if edge_key(u, v) not in doomed_edges:
+                pruned.add_edge(u, v, w)
+        girth_ok = True
+        if check_girth:
+            girth_ok = girth(pruned, cutoff=bound) > bound
+        candidate = Lemma4Result(
+            subgraph=pruned,
+            sampled_nodes=size,
+            surviving_edges=pruned.number_of_edges(),
+            girth_bound=bound,
+            girth_ok=girth_ok,
+            expected_edges_lower_bound=expected,
+            trials=trials,
+        )
+        if best is None or candidate.surviving_edges > best.surviving_edges:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def theorem1_certificate(result: SpannerResult, *, rng=None,
+                         trials: int = 5) -> dict:
+    """End-to-end replay of the Theorem 1 proof on a concrete greedy run.
+
+    Extracts the Lemma 3 blocking set, runs the Lemma 4 subsample, and reports
+    the quantities the proof chains together (blocking-set size vs.
+    ``f · |E(H)|``, surviving edges vs. ``m / f²``, girth of the pruned
+    subgraph).  Experiments E5/E6 and the integration tests consume this.
+    """
+    if result.max_faults < 1:
+        raise ValueError("the certificate is only meaningful for f >= 1")
+    blocking = extract_blocking_set(result)
+    lemma4 = lemma4_subsample(result.spanner, blocking, result.max_faults,
+                              rng=rng, trials=trials)
+    m = result.size
+    f = result.max_faults
+    return {
+        "spanner_edges": m,
+        "blocking_pairs": blocking.size,
+        "blocking_bound": f * m,
+        "blocking_within_bound": blocking.size <= f * m,
+        "sampled_nodes": lemma4.sampled_nodes,
+        "surviving_edges": lemma4.surviving_edges,
+        "expected_edges_lower_bound": lemma4.expected_edges_lower_bound,
+        "girth_bound": lemma4.girth_bound,
+        "girth_ok": lemma4.girth_ok,
+    }

@@ -1,0 +1,30 @@
+"""Shared utilities: seeded randomness, timing, tables, and logging.
+
+These helpers are deliberately dependency-light so every other subpackage can
+import them without cycles.  They encode the project-wide conventions:
+
+* all randomness flows through :class:`repro.utils.rng.RandomSource` so any
+  experiment can be replayed from a single integer seed;
+* all timing uses :class:`repro.utils.timing.Timer` /
+  :func:`repro.utils.timing.timed` so benchmark harnesses report wall-clock
+  numbers consistently;
+* all tabular experiment output goes through :mod:`repro.utils.tables` so
+  EXPERIMENTS.md rows and benchmark stdout share one format.
+"""
+
+from repro.utils.rng import RandomSource, derive_seed, ensure_rng
+from repro.utils.timing import Timer, timed
+from repro.utils.tables import Table, format_markdown_table, format_ascii_table
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RandomSource",
+    "derive_seed",
+    "ensure_rng",
+    "Timer",
+    "timed",
+    "Table",
+    "format_markdown_table",
+    "format_ascii_table",
+    "get_logger",
+]

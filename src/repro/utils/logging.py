@@ -1,0 +1,45 @@
+"""Minimal logging configuration shared across the library.
+
+The library itself never configures the root logger (that is the
+application's job); :func:`get_logger` returns namespaced loggers under the
+``repro`` hierarchy, and :func:`configure_cli_logging` is used only by the
+command-line entry point to give humans readable progress output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("spanners.ft_greedy")`` returns ``repro.spanners.ft_greedy``.
+    Passing ``None`` returns the package root logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_cli_logging(verbose: bool = False) -> None:
+    """Configure a simple stderr handler for CLI runs.
+
+    Idempotent: repeated calls replace the handler instead of stacking them.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(logging.DEBUG if verbose else logging.INFO)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s",
+                          datefmt="%H:%M:%S")
+    )
+    logger.addHandler(handler)
+    logger.propagate = False

@@ -1,0 +1,143 @@
+"""Result-table formatting shared by experiments and benchmarks.
+
+The experiment drivers produce :class:`Table` objects; the benchmark harness
+prints them in the same ASCII/Markdown shape that EXPERIMENTS.md records, so
+"paper row" and "measured row" are directly comparable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _format_cell(value: Any, float_format: str = "{:.4g}") -> str:
+    """Render a single cell: floats get compact formatting, the rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    if value is None:
+        return "-"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An ordered collection of result rows with a fixed column set.
+
+    Rows are mappings from column name to value; missing values render as
+    ``-``.  The class intentionally avoids pandas so the repository has no
+    heavyweight dependencies.
+    """
+
+    columns: list[str]
+    title: str = ""
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    float_format: str = "{:.4g}"
+
+    def add_row(self, row: Mapping[str, Any] | None = None, **values: Any) -> None:
+        """Append a row given as a mapping and/or keyword arguments."""
+        merged: dict[str, Any] = dict(row or {})
+        merged.update(values)
+        unknown = set(merged) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row has columns not in table: {sorted(unknown)}")
+        self.rows.append(merged)
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of one column (missing entries become ``None``)."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    def sort_by(self, *names: str) -> "Table":
+        """Return a copy sorted by the given columns (ascending)."""
+        copy = Table(columns=list(self.columns), title=self.title,
+                     float_format=self.float_format)
+        copy.rows = sorted(self.rows, key=lambda r: tuple(r.get(n) for n in names))
+        return copy
+
+    # -- rendering -----------------------------------------------------------
+    def _rendered(self) -> list[list[str]]:
+        header = list(self.columns)
+        body = [
+            [_format_cell(row.get(col), self.float_format) for col in self.columns]
+            for row in self.rows
+        ]
+        return [header] + body
+
+    def to_ascii(self) -> str:
+        """Render as an aligned plain-text table."""
+        return format_ascii_table(self._rendered(), title=self.title)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        return format_markdown_table(self._rendered(), title=self.title)
+
+    def to_csv(self) -> str:
+        """Render as CSV text (header row first)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        for row in self._rendered():
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        return self.to_ascii()
+
+
+def format_ascii_table(rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Format pre-stringified rows (header first) as an aligned text table."""
+    if not rows:
+        return title
+    widths = [0] * max(len(r) for r in rows)
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(rows[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rows[1:])
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Format pre-stringified rows (header first) as a markdown table."""
+    if not rows:
+        return f"### {title}" if title else ""
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    header = rows[0]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows[1:]:
+        padded = list(row) + [""] * (len(header) - len(row))
+        lines.append("| " + " | ".join(padded) + " |")
+    return "\n".join(lines)
+
+
+def summarize_series(values: Iterable[float]) -> dict[str, float]:
+    """Small numeric summary (min/mean/max) used in experiment reports."""
+    data = list(values)
+    if not data:
+        return {"count": 0, "min": float("nan"), "mean": float("nan"), "max": float("nan")}
+    return {
+        "count": len(data),
+        "min": min(data),
+        "mean": sum(data) / len(data),
+        "max": max(data),
+    }

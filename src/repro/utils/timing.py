@@ -1,0 +1,88 @@
+"""Wall-clock timing helpers used by the experiment harness and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    A :class:`Timer` can be started and stopped repeatedly; ``elapsed`` is the
+    sum of all completed intervals plus the current one if running.  Used by
+    the experiment drivers to attribute time to phases (construction,
+    verification, blocking-set extraction, ...).
+    """
+
+    label: str = ""
+    _start: float | None = None
+    _accumulated: float = 0.0
+    laps: list[float] = field(default_factory=list)
+
+    def start(self) -> "Timer":
+        """Start (or restart) the stopwatch."""
+        if self._start is not None:
+            raise RuntimeError(f"Timer {self.label!r} already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the duration of the last interval."""
+        if self._start is None:
+            raise RuntimeError(f"Timer {self.label!r} is not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self._accumulated += lap
+        self.laps.append(lap)
+        return lap
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds, including the in-progress interval."""
+        total = self._accumulated
+        if self._start is not None:
+            total += time.perf_counter() - self._start
+        return total
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        """Context manager form: ``with timer.measure(): ...``."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"Timer(label={self.label!r}, elapsed={self.elapsed:.6f}s, {state})"
+
+
+@contextmanager
+def timed(label: str = "") -> Iterator[Timer]:
+    """Time a block of code: ``with timed("build") as t: ...; t.elapsed``."""
+    timer = Timer(label=label)
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer.running:
+            timer.stop()
+
+
+def time_call(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
+    """Call ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

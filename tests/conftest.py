@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small, deterministic instances: fast enough that the whole
+suite stays in the minutes range, small enough that exhaustive oracles
+(all fault sets, all short cycles) remain usable as ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.core import Graph
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic random source."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The 3-cycle with unit weights."""
+    return Graph(edges=[(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def square_with_diagonal() -> Graph:
+    """A 4-cycle plus one diagonal; the diagonal weight makes paths interesting."""
+    graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+    graph.add_edge(0, 2, 1.5)
+    return graph
+
+
+@pytest.fixture
+def weighted_path() -> Graph:
+    """A weighted path 0-1-2-3-4 with increasing weights."""
+    graph = Graph()
+    for i in range(4):
+        graph.add_edge(i, i + 1, float(i + 1))
+    return graph
+
+
+@pytest.fixture
+def petersen() -> Graph:
+    """The Petersen graph (girth 5)."""
+    return generators.petersen_graph()
+
+
+@pytest.fixture
+def small_random() -> Graph:
+    """A small connected random graph: 16 nodes, 48 edges, unit weights."""
+    return generators.gnm(16, 48, rng=7, connected=True)
+
+
+@pytest.fixture
+def small_weighted_random() -> Graph:
+    """A small connected random graph with random weights."""
+    return generators.gnm(14, 40, rng=11, connected=True, weighted=True,
+                          weight_range=(1.0, 10.0))
+
+
+@pytest.fixture
+def medium_random() -> Graph:
+    """A denser instance used where compression must be visible: 30 nodes, 160 edges."""
+    return generators.gnm(30, 160, rng=3, connected=True)

@@ -1,0 +1,126 @@
+"""Tests for the baseline constructions (trivial, peeling union, sampling union)."""
+
+import pytest
+
+from repro.baselines.peeling import peeling_union_spanner
+from repro.baselines.sampling import default_sample_count, sampling_union_spanner
+from repro.baselines.trivial import trivial_spanner
+from repro.graph import generators
+from repro.spanners.ft_greedy import ft_greedy_spanner
+from repro.spanners.greedy import greedy_spanner
+from repro.spanners.verify import is_ft_spanner, is_spanner
+
+
+class TestTrivial:
+    def test_keeps_everything(self, medium_random):
+        result = trivial_spanner(medium_random)
+        assert result.size == medium_random.number_of_edges()
+        assert result.spanner.same_structure(medium_random)
+
+    def test_is_always_ft(self, small_random):
+        result = trivial_spanner(small_random, stretch=3, max_faults=2)
+        report = is_ft_spanner(small_random, result.spanner, 3, 1, method="exhaustive")
+        assert report.ok
+
+    def test_independent_copy(self, triangle):
+        result = trivial_spanner(triangle)
+        result.spanner.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+
+
+class TestPeelingUnion:
+    def test_parameter_validation(self, triangle):
+        with pytest.raises(ValueError):
+            peeling_union_spanner(triangle, 0.5, 1)
+        with pytest.raises(ValueError):
+            peeling_union_spanner(triangle, 3, -1)
+
+    def test_zero_faults_reduces_to_greedy(self, medium_random):
+        plain = greedy_spanner(medium_random, 3)
+        peeled = peeling_union_spanner(medium_random, 3, 0)
+        assert peeled.spanner.same_structure(plain.spanner)
+
+    def test_edge_fault_tolerance_exhaustive(self, small_random):
+        result = peeling_union_spanner(small_random, 3, 1)
+        report = is_ft_spanner(small_random, result.spanner, 3, 1,
+                               fault_model="edge", method="exhaustive")
+        assert report.ok, report
+
+    def test_edge_fault_tolerance_two_faults(self):
+        graph = generators.gnm(12, 40, rng=31, connected=True)
+        result = peeling_union_spanner(graph, 3, 2)
+        report = is_ft_spanner(graph, result.spanner, 3, 2,
+                               fault_model="edge", method="exhaustive")
+        assert report.ok, report
+
+    def test_size_grows_with_f_but_is_capped_by_m(self, medium_random):
+        sizes = [peeling_union_spanner(medium_random, 3, f).size for f in range(4)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] <= medium_random.number_of_edges()
+
+    def test_rounds_recorded(self, medium_random):
+        result = peeling_union_spanner(medium_random, 3, 2)
+        assert 1 <= result.parameters["rounds"] <= 3
+
+    def test_stops_early_when_graph_exhausted(self):
+        tree = generators.path_graph(8)
+        result = peeling_union_spanner(tree, 3, 5)
+        assert result.size == 7
+        assert result.parameters["rounds"] <= 2
+
+    def test_bigger_than_ft_greedy_on_dense_instances(self):
+        graph = generators.gnm(40, 400, rng=5, connected=True)
+        ft = ft_greedy_spanner(graph, 3, 2, fault_model="edge")
+        peel = peeling_union_spanner(graph, 3, 2)
+        assert peel.size >= ft.size
+
+    def test_output_is_subgraph(self, medium_random):
+        result = peeling_union_spanner(medium_random, 3, 2)
+        assert result.spanner.is_subgraph_of(medium_random)
+
+
+class TestSamplingUnion:
+    def test_parameter_validation(self, triangle):
+        with pytest.raises(ValueError):
+            sampling_union_spanner(triangle, 0.5, 1)
+        with pytest.raises(ValueError):
+            sampling_union_spanner(triangle, 3, -1)
+        with pytest.raises(ValueError):
+            sampling_union_spanner(triangle, 3, 1, survival_probability=1.5)
+
+    def test_default_sample_count_grows_with_f(self):
+        counts = [default_sample_count(100, f) for f in range(4)]
+        assert counts == sorted(counts)
+        assert default_sample_count(1, 3) == 1
+
+    def test_contains_plain_spanner(self, medium_random):
+        plain = greedy_spanner(medium_random, 3)
+        result = sampling_union_spanner(medium_random, 3, 1, rng=0, samples=5)
+        assert plain.spanner.is_subgraph_of(result.spanner)
+        assert is_spanner(medium_random, result.spanner, 3)
+
+    def test_vertex_fault_tolerance_with_enough_samples(self, small_random):
+        result = sampling_union_spanner(small_random, 3, 1, rng=0)
+        report = is_ft_spanner(small_random, result.spanner, 3, 1,
+                               fault_model="vertex", method="exhaustive")
+        assert report.ok, report
+
+    def test_sample_cap_reported(self, small_random):
+        result = sampling_union_spanner(small_random, 3, 3, rng=0, max_samples=10)
+        assert result.parameters["samples_used"] == 10
+        assert result.parameters["sample_cap_hit"]
+
+    def test_reproducible_with_seed(self, small_random):
+        a = sampling_union_spanner(small_random, 3, 1, rng=7, samples=20)
+        b = sampling_union_spanner(small_random, 3, 1, rng=7, samples=20)
+        assert a.spanner.same_structure(b.spanner)
+
+    def test_larger_than_ft_greedy_on_dense_instances(self):
+        graph = generators.gnm(40, 400, rng=5, connected=True)
+        ft = ft_greedy_spanner(graph, 3, 2)
+        sampled = sampling_union_spanner(graph, 3, 2, rng=1, max_samples=150)
+        assert sampled.size > ft.size
+
+    def test_output_is_subgraph(self, medium_random):
+        result = sampling_union_spanner(medium_random, 3, 1, rng=0, samples=10)
+        assert result.spanner.is_subgraph_of(medium_random)

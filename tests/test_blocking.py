@@ -1,0 +1,231 @@
+"""Tests for blocking sets: Definition 3, Lemma 3 extraction, Lemma 4 sampling."""
+
+import math
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.core import Graph
+from repro.graph.girth import girth
+from repro.spanners.blocking import (
+    BlockingSet,
+    extract_blocking_set,
+    extract_edge_blocking_set,
+    is_blocking_set,
+    is_edge_blocking_set,
+    lemma4_subsample,
+    theorem1_certificate,
+    unblocked_cycles,
+)
+from repro.spanners.ft_greedy import ft_greedy_spanner
+from repro.spanners.greedy import greedy_spanner
+
+
+def _ft_result(graph, stretch=3, faults=1, model="vertex"):
+    return ft_greedy_spanner(graph, stretch, faults, fault_model=model)
+
+
+class TestBlockingSetType:
+    def test_size_and_iteration(self):
+        blocking = BlockingSet(kind="vertex", pairs=frozenset({(5, (0, 1))}), cycle_bound=4)
+        assert blocking.size == 1
+        assert len(blocking) == 1
+        assert list(blocking) == [(5, (0, 1))]
+
+    def test_blockers_of(self):
+        blocking = BlockingSet(
+            kind="vertex",
+            pairs=frozenset({(5, (0, 1)), (6, (0, 1)), (7, (1, 2))}),
+            cycle_bound=4,
+        )
+        assert sorted(blocking.blockers_of((1, 0))) == [5, 6]
+        assert blocking.blockers_of((5, 6)) == []
+
+
+class TestDefinition3Checker:
+    def test_valid_manual_blocking_set(self, triangle):
+        # The only <=3-cycle is the triangle; pair (2, (0,1)) blocks it.
+        blocking = BlockingSet(kind="vertex", pairs=frozenset({(2, (0, 1))}), cycle_bound=3)
+        assert is_blocking_set(triangle, blocking)
+
+    def test_pair_with_endpoint_vertex_is_invalid(self, triangle):
+        blocking = BlockingSet(kind="vertex", pairs=frozenset({(0, (0, 1))}), cycle_bound=3)
+        assert not is_blocking_set(triangle, blocking)
+
+    def test_missing_cycle_coverage_is_invalid(self, square_with_diagonal):
+        # Covers the triangle (0,1,2) but not (0,2,3).
+        blocking = BlockingSet(kind="vertex", pairs=frozenset({(1, (0, 2))}), cycle_bound=3)
+        assert not is_blocking_set(square_with_diagonal, blocking)
+
+    def test_empty_set_valid_for_high_girth_graph(self, petersen):
+        blocking = BlockingSet(kind="vertex", pairs=frozenset(), cycle_bound=4)
+        assert is_blocking_set(petersen, blocking)
+
+    def test_empty_set_invalid_when_short_cycles_exist(self, triangle):
+        blocking = BlockingSet(kind="vertex", pairs=frozenset(), cycle_bound=3)
+        assert not is_blocking_set(triangle, blocking)
+
+    def test_pair_referencing_missing_edge_is_invalid(self, triangle):
+        blocking = BlockingSet(kind="vertex", pairs=frozenset({(2, (0, 5))}), cycle_bound=3)
+        assert not is_blocking_set(triangle, blocking)
+
+    def test_raw_pairs_need_cycle_bound(self, triangle):
+        assert is_blocking_set(triangle, [(2, (0, 1))], cycle_bound=3)
+        with pytest.raises(ValueError):
+            is_blocking_set(triangle, [(2, (0, 1))])
+
+    def test_kind_mismatch_raises(self, triangle):
+        blocking = BlockingSet(kind="edge", pairs=frozenset(), cycle_bound=3)
+        with pytest.raises(ValueError):
+            is_blocking_set(triangle, blocking)
+
+    def test_unblocked_cycles_reports_counterexamples(self, square_with_diagonal):
+        blocking = BlockingSet(kind="vertex", pairs=frozenset({(1, (0, 2))}), cycle_bound=3)
+        missed = unblocked_cycles(square_with_diagonal, blocking)
+        assert len(missed) == 1
+        assert set(missed[0]) == {0, 2, 3}
+
+
+class TestLemma3Extraction:
+    def test_size_bound(self, medium_random):
+        for f in (1, 2):
+            result = _ft_result(medium_random, faults=f)
+            blocking = extract_blocking_set(result)
+            assert blocking.size <= f * result.size
+
+    def test_extracted_set_is_valid(self, small_random):
+        result = _ft_result(small_random, faults=1)
+        blocking = extract_blocking_set(result)
+        assert blocking.kind == "vertex"
+        assert blocking.cycle_bound == 4
+        assert is_blocking_set(result.spanner, blocking)
+
+    def test_extracted_set_valid_for_two_faults(self):
+        graph = generators.gnm(14, 50, rng=23, connected=True)
+        result = _ft_result(graph, faults=2)
+        blocking = extract_blocking_set(result)
+        assert is_blocking_set(result.spanner, blocking)
+
+    def test_extracted_set_valid_on_weighted_graph(self, small_weighted_random):
+        result = _ft_result(small_weighted_random, faults=1)
+        blocking = extract_blocking_set(result)
+        assert is_blocking_set(result.spanner, blocking)
+
+    def test_f_zero_gives_empty_blocking_set(self, medium_random):
+        result = _ft_result(medium_random, faults=0)
+        blocking = extract_blocking_set(result)
+        assert blocking.size == 0
+        # Greedy output for stretch 3 has girth > 4, so the empty set is valid.
+        assert is_blocking_set(result.spanner, blocking)
+
+    def test_edge_model_extraction(self, small_random):
+        result = _ft_result(small_random, faults=1, model="edge")
+        blocking = extract_edge_blocking_set(result)
+        assert blocking.kind == "edge"
+        assert blocking.size <= result.size
+        assert is_edge_blocking_set(result.spanner, blocking)
+
+    def test_extraction_requires_ft_result(self, small_random):
+        plain = greedy_spanner(small_random, 3)
+        with pytest.raises(ValueError):
+            extract_blocking_set(plain)
+
+    def test_extraction_requires_witnesses(self, small_random):
+        result = ft_greedy_spanner(small_random, 3, 1, record_witnesses=False)
+        with pytest.raises(ValueError):
+            extract_blocking_set(result)
+
+    def test_edge_extraction_requires_edge_model(self, small_random):
+        result = _ft_result(small_random, faults=1, model="vertex")
+        with pytest.raises(ValueError):
+            extract_edge_blocking_set(result)
+
+
+class TestEdgeBlockingChecker:
+    def test_pair_with_identical_edges_invalid(self, triangle):
+        blocking = BlockingSet(kind="edge",
+                               pairs=frozenset({((0, 1), (0, 1))}), cycle_bound=3)
+        assert not is_edge_blocking_set(triangle, blocking)
+
+    def test_valid_manual_edge_blocking_set(self, triangle):
+        blocking = BlockingSet(kind="edge",
+                               pairs=frozenset({((0, 1), (1, 2))}), cycle_bound=3)
+        assert is_edge_blocking_set(triangle, blocking)
+
+    def test_uncovered_cycle_invalid(self, square_with_diagonal):
+        blocking = BlockingSet(kind="edge",
+                               pairs=frozenset({((0, 1), (1, 2))}), cycle_bound=3)
+        assert not is_edge_blocking_set(square_with_diagonal, blocking)
+
+
+class TestLemma4:
+    def test_requires_vertex_blocking_set(self, small_random):
+        result = _ft_result(small_random, faults=1, model="edge")
+        blocking = extract_blocking_set(result)
+        with pytest.raises(ValueError):
+            lemma4_subsample(result.spanner, blocking, 1)
+
+    def test_parameter_validation(self, small_random):
+        result = _ft_result(small_random, faults=1)
+        blocking = extract_blocking_set(result)
+        with pytest.raises(ValueError):
+            lemma4_subsample(result.spanner, blocking, 0)
+        with pytest.raises(ValueError):
+            lemma4_subsample(result.spanner, blocking, 1, trials=0)
+
+    def test_output_girth_and_node_count(self, medium_random):
+        result = _ft_result(medium_random, faults=2)
+        blocking = extract_blocking_set(result)
+        outcome = lemma4_subsample(result.spanner, blocking, 2, rng=0, trials=5)
+        assert outcome.sampled_nodes == math.ceil(medium_random.number_of_nodes() / 4)
+        assert outcome.subgraph.number_of_nodes() == outcome.sampled_nodes
+        assert outcome.girth_ok
+        assert girth(outcome.subgraph, cutoff=outcome.girth_bound) > outcome.girth_bound
+
+    def test_pruned_graph_is_subgraph(self, medium_random):
+        result = _ft_result(medium_random, faults=1)
+        blocking = extract_blocking_set(result)
+        outcome = lemma4_subsample(result.spanner, blocking, 1, rng=1, trials=3)
+        assert outcome.subgraph.is_subgraph_of(result.spanner)
+
+    def test_expected_edges_formula(self, medium_random):
+        result = _ft_result(medium_random, faults=2)
+        blocking = extract_blocking_set(result)
+        outcome = lemma4_subsample(result.spanner, blocking, 2, rng=0)
+        manual = result.size / 16.0 - blocking.size / 64.0
+        assert outcome.expected_edges_lower_bound == pytest.approx(manual)
+
+    def test_best_of_trials_reaches_expectation(self, medium_random):
+        # "There exists a setting matching the expectation": over enough trials
+        # the best sample should reach the expectation bound.
+        result = _ft_result(medium_random, faults=2)
+        blocking = extract_blocking_set(result)
+        outcome = lemma4_subsample(result.spanner, blocking, 2, rng=3, trials=30)
+        assert outcome.surviving_edges >= outcome.expected_edges_lower_bound
+
+    def test_sample_size_override(self, medium_random):
+        result = _ft_result(medium_random, faults=1)
+        blocking = extract_blocking_set(result)
+        outcome = lemma4_subsample(result.spanner, blocking, 1, rng=0, sample_size=5)
+        assert outcome.sampled_nodes == 5
+
+    def test_girth_check_can_be_skipped(self, medium_random):
+        result = _ft_result(medium_random, faults=1)
+        blocking = extract_blocking_set(result)
+        outcome = lemma4_subsample(result.spanner, blocking, 1, rng=0, check_girth=False)
+        assert outcome.girth_ok  # reported as unchecked-ok
+
+
+class TestTheorem1Certificate:
+    def test_certificate_fields(self, medium_random):
+        result = _ft_result(medium_random, faults=2)
+        certificate = theorem1_certificate(result, rng=0, trials=5)
+        assert certificate["blocking_within_bound"]
+        assert certificate["girth_ok"]
+        assert certificate["spanner_edges"] == result.size
+        assert certificate["blocking_bound"] == 2 * result.size
+
+    def test_certificate_requires_faults(self, medium_random):
+        result = _ft_result(medium_random, faults=0)
+        with pytest.raises(ValueError):
+            theorem1_certificate(result)

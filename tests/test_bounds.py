@@ -1,0 +1,221 @@
+"""Tests for the Moore bound, the bound formulas, and the lower-bound construction."""
+
+import math
+
+import pytest
+
+from repro.bounds.lower_bound import (
+    adversarial_fault_set_for_edge,
+    bdpw_lower_bound_instance,
+    edge_blocking_set_for_blowup,
+    forced_edge_fraction,
+    vertex_blowup,
+)
+from repro.bounds.moore import girth_edge_frontier, max_edges_girth_greater, moore_bound
+from repro.bounds.theoretical import (
+    BOUND_FORMULAS,
+    bdpw18_upper_bound,
+    bound_ratio,
+    clpr_bound,
+    corollary2_bound,
+    dinitz_krauthgamer_bound,
+    non_ft_greedy_bound,
+    theorem1_bound,
+    trivial_bound,
+)
+from repro.faults.adversarial import stretch_under_faults
+from repro.graph import generators
+from repro.graph.girth import girth
+from repro.spanners.blocking import is_edge_blocking_set
+
+
+class TestMooreBound:
+    def test_formula_values(self):
+        assert moore_bound(100, 4) == pytest.approx(100 ** 1.5)
+        assert moore_bound(100, 5) == pytest.approx(100 ** 1.5)
+        assert moore_bound(100, 6) == pytest.approx(100 ** (4 / 3))
+
+    def test_degenerate_inputs(self):
+        assert moore_bound(0, 4) == 0.0
+        assert moore_bound(-5, 4) == 0.0
+        assert moore_bound(10, 2) == 45.0
+
+    def test_monotone_in_n(self):
+        assert moore_bound(200, 4) > moore_bound(100, 4)
+
+    def test_decreasing_in_k(self):
+        assert moore_bound(100, 6) < moore_bound(100, 4)
+
+    def test_exact_small_values(self):
+        # b(n, 3) = triangle-free maximum = floor(n^2/4) (Mantel's theorem).
+        assert max_edges_girth_greater(4, 3) == 4
+        assert max_edges_girth_greater(5, 3) == 6
+        assert max_edges_girth_greater(6, 3) == 9
+        # girth > 4: C5 is the densest 5-node graph (5 edges).
+        assert max_edges_girth_greater(5, 4) == 5
+
+    def test_exact_trivial_cases(self):
+        assert max_edges_girth_greater(1, 3) == 0
+        assert max_edges_girth_greater(6, 2) == 15
+
+    def test_heuristic_regime_is_lower_bound(self):
+        value = max_edges_girth_greater(20, 4, rng=0, attempts=10)
+        assert value >= 19  # at least a spanning-tree-plus-some structure
+        assert value <= moore_bound(20, 4) * 2
+
+    def test_girth_edge_frontier(self):
+        frontier = girth_edge_frontier(16, [3, 5], rng=0, attempts=5)
+        assert set(frontier) == {3, 5}
+        assert frontier[3] >= frontier[5]
+
+
+class TestBoundFormulas:
+    def test_theorem1_reduces_to_moore_at_f0(self):
+        assert theorem1_bound(100, 0, 3) == pytest.approx(moore_bound(100, 4))
+
+    def test_theorem1_general_value(self):
+        assert theorem1_bound(100, 2, 3) == pytest.approx(4 * moore_bound(50, 4))
+
+    def test_corollary2_matches_theorem1_via_moore(self):
+        # f^2 * (n/f)^{3/2} == n^{3/2} f^{1/2} for stretch 3 (k = 2).
+        assert theorem1_bound(128, 4, 3) == pytest.approx(corollary2_bound(128, 4, 3))
+
+    def test_corollary2_values(self):
+        assert corollary2_bound(100, 1, 3) == pytest.approx(1000.0)
+        assert corollary2_bound(100, 4, 3) == pytest.approx(2000.0)
+
+    def test_corollary2_sublinear_in_f(self):
+        ratio = corollary2_bound(100, 4, 3) / corollary2_bound(100, 1, 3)
+        assert ratio < 4
+
+    def test_bdpw_is_exp_k_worse(self):
+        for stretch in (3.0, 5.0, 7.0):
+            k = (stretch + 1) / 2
+            assert bdpw18_upper_bound(100, 2, stretch) == pytest.approx(
+                corollary2_bound(100, 2, stretch) * math.exp(k))
+
+    def test_prior_bounds_are_worse_in_f(self):
+        n, stretch = 1000, 3
+        for f in (2, 4, 8):
+            ours = corollary2_bound(n, f, stretch)
+            assert dinitz_krauthgamer_bound(n, f, stretch) > ours
+            assert clpr_bound(n, f, stretch) > ours
+
+    def test_clpr_explodes_exponentially_in_f(self):
+        assert clpr_bound(100, 6, 3) / clpr_bound(100, 5, 3) > 1.9
+
+    def test_trivial_and_greedy_bounds(self):
+        assert trivial_bound(10) == 45
+        assert non_ft_greedy_bound(100, stretch=3) == pytest.approx(1000.0)
+
+    def test_invalid_stretch(self):
+        with pytest.raises(ValueError):
+            corollary2_bound(100, 1, 0.5)
+
+    def test_registry_complete(self):
+        assert {"theorem1", "corollary2", "bdpw18", "trivial"} <= set(BOUND_FORMULAS)
+        for formula in BOUND_FORMULAS.values():
+            assert formula(50, 2, 3) > 0
+
+    def test_bound_ratio(self):
+        assert bound_ratio(500, "corollary2", 100, 1, 3) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            bound_ratio(500, "nope", 100, 1, 3)
+
+
+class TestVertexBlowup:
+    def test_counts(self, petersen):
+        blowup = vertex_blowup(petersen, 3)
+        assert blowup.number_of_nodes() == 30
+        assert blowup.number_of_edges() == 9 * 15
+
+    def test_copies_of_same_vertex_not_adjacent(self, petersen):
+        blowup = vertex_blowup(petersen, 2)
+        for u in petersen.nodes():
+            assert not blowup.has_edge((u, 0), (u, 1))
+
+    def test_single_copy_is_isomorphic_relabel(self, petersen):
+        blowup = vertex_blowup(petersen, 1)
+        assert blowup.number_of_edges() == petersen.number_of_edges()
+
+    def test_invalid_copies(self, petersen):
+        with pytest.raises(ValueError):
+            vertex_blowup(petersen, 0)
+
+    def test_blowup_girth_is_four(self, petersen):
+        # Two copies of each endpoint of any base edge form a 4-cycle.
+        blowup = vertex_blowup(petersen, 2)
+        assert girth(blowup) == 4
+
+
+class TestLowerBoundInstance:
+    def test_construction_counts(self):
+        instance = bdpw_lower_bound_instance(2, 3)
+        assert instance.copies == 2
+        assert instance.edges == instance.copies ** 2 * instance.base.number_of_edges()
+        assert instance.predicted_forced_edges == instance.edges
+
+    def test_base_girth_requirement(self):
+        with pytest.raises(ValueError):
+            bdpw_lower_bound_instance(2, 3, base=generators.complete_graph(5))
+
+    def test_explicit_base_accepted(self):
+        instance = bdpw_lower_bound_instance(3, 3, base=generators.petersen_graph())
+        assert instance.base.name == "petersen"
+        assert instance.copies == 2
+
+    def test_faults_validation(self):
+        with pytest.raises(ValueError):
+            bdpw_lower_bound_instance(0, 3)
+
+    def test_all_edges_forced_small_instance(self):
+        instance = bdpw_lower_bound_instance(2, 3)
+        assert forced_edge_fraction(instance) == 1.0
+
+    def test_forced_fraction_sampling(self):
+        instance = bdpw_lower_bound_instance(3, 3)
+        assert forced_edge_fraction(instance, sample_edges=15, rng=0) == 1.0
+
+    def test_adversarial_fault_set_breaks_edge(self):
+        instance = bdpw_lower_bound_instance(2, 3)
+        graph = instance.graph
+        (u, v, w) = next(iter(graph.edges()))
+        faults = adversarial_fault_set_for_edge(instance, u, v)
+        assert len(faults) <= instance.max_faults
+        # Removing the edge and applying the analytic fault set must violate the stretch.
+        without = graph.copy()
+        without.remove_edge(u, v)
+        stretch = stretch_under_faults(graph, without, "vertex", faults)
+        assert stretch > instance.stretch
+
+    def test_larger_stretch_uses_higher_girth_base(self):
+        instance = bdpw_lower_bound_instance(2, 5, base_nodes=12, rng=0)
+        assert girth(instance.base) > 6
+
+
+class TestEdgeBlockingSetOnBlowup:
+    @pytest.mark.parametrize("faults", [2, 3, 4])
+    def test_size_bound(self, faults):
+        instance = bdpw_lower_bound_instance(faults, 3)
+        blocking = edge_blocking_set_for_blowup(instance)
+        assert blocking.size <= faults * instance.edges
+
+    def test_validity_small_instance(self):
+        instance = bdpw_lower_bound_instance(2, 3)
+        blocking = edge_blocking_set_for_blowup(instance)
+        assert is_edge_blocking_set(instance.graph, blocking)
+
+    def test_validity_three_faults(self):
+        instance = bdpw_lower_bound_instance(3, 3)
+        blocking = edge_blocking_set_for_blowup(instance)
+        assert is_edge_blocking_set(instance.graph, blocking)
+
+    def test_pairs_share_endpoint_and_base_edge(self):
+        instance = bdpw_lower_bound_instance(2, 3)
+        blocking = edge_blocking_set_for_blowup(instance)
+        for first, second in blocking.pairs:
+            shared = set(first) & set(second)
+            assert shared, "pair must share an endpoint"
+            base_first = {first[0][0], first[1][0]}
+            base_second = {second[0][0], second[1][0]}
+            assert base_first == base_second, "pair must project to the same base edge"

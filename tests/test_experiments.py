@@ -1,0 +1,171 @@
+"""Tests for the experiment harness: workloads, registry, and each driver.
+
+The drivers are run on deliberately tiny configurations (overriding the quick
+presets) so the whole file stays fast; what is asserted is the *shape and
+content* of each result table — the same properties EXPERIMENTS.md relies on.
+"""
+
+import pytest
+
+from repro.experiments import workloads
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments import (
+    e1_size_vs_n,
+    e2_size_vs_f,
+    e3_vs_baselines,
+    e4_lower_bound,
+    e5_blocking_sets,
+    e6_subsampling,
+    e7_vft_vs_eft,
+    e8_runtime,
+    e9_fault_verification,
+    e10_edge_blocking,
+)
+from repro.graph.components import is_connected
+
+
+class TestWorkloads:
+    def test_registry_lists_all(self):
+        assert len(workloads.WORKLOADS) >= 10
+        for name, workload in workloads.WORKLOADS.items():
+            assert workload.name == name
+            assert workload.description
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            workloads.get_workload("nope")
+
+    def test_instantiation_is_reproducible(self):
+        a = workloads.get_workload("tiny-gnm").instantiate(0)
+        b = workloads.get_workload("tiny-gnm").instantiate(0)
+        assert a.same_structure(b)
+
+    @pytest.mark.parametrize("name", ["tiny-gnm", "gnm-small-dense", "caveman", "grid"])
+    def test_selected_workloads_are_connected(self, name):
+        graph = workloads.get_workload(name).instantiate(1)
+        assert is_connected(graph)
+        assert graph.metadata.get("workload", name) == name
+
+    def test_build_workloads_independent_streams(self):
+        pairs = workloads.build_workloads(["tiny-gnm", "tiny-weighted"], rng=3)
+        assert [name for name, _ in pairs] == ["tiny-gnm", "tiny-weighted"]
+
+    def test_gnm_scaling_series(self):
+        series = workloads.gnm_scaling_series([10, 20], 6, rng=0)
+        assert [n for n, _ in series] == [10, 20]
+        for n, graph in series:
+            assert graph.number_of_nodes() == n
+            assert is_connected(graph)
+
+
+class TestRegistry:
+    def test_all_ten_registered(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e3").ident == "E3"
+        with pytest.raises(ValueError):
+            get_experiment("E99")
+
+    def test_specs_have_metadata(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.title and spec.claim and spec.module.startswith("repro.experiments.")
+
+    def test_run_experiment_dispatch(self):
+        table = run_experiment("E10", scale="quick", rng=0)
+        assert len(table) > 0
+
+
+class TestDrivers:
+    """Each driver on a minimal configuration, asserting the paper's claims."""
+
+    def test_e1_ratio_bounded(self):
+        config = e1_size_vs_n.Config(sizes=[20, 30], average_degree=10,
+                                     fault_budgets=[1], trials=1)
+        table = e1_size_vs_n.run(config, rng=0)
+        assert len(table) == 2
+        assert all(ratio < 3.0 for ratio in table.column("ratio"))
+
+    def test_e1_fitted_slope_helper(self):
+        assert e1_size_vs_n.fitted_slope([(1.0, 1.0), (10.0, 10.0)]) == pytest.approx(1.0)
+        assert e1_size_vs_n.fitted_slope([(1.0, 1.0)]) != e1_size_vs_n.fitted_slope(
+            [(1.0, 1.0), (2.0, 4.0)])
+
+    def test_e2_sizes_monotone_and_sublinear(self):
+        config = e2_size_vs_f.Config(workload="tiny-gnm", stretches=[3.0],
+                                     fault_budgets=[0, 1, 2])
+        table = e2_size_vs_f.run(config, rng=0)
+        sizes = table.column("spanner_edges")
+        assert sizes == sorted(sizes)
+        # Growth from f=1 to f=2 is below 2x (sublinear in f).
+        assert sizes[2] < 2 * sizes[1]
+
+    def test_e3_ft_greedy_wins(self):
+        config = e3_vs_baselines.Config(workloads=["tiny-gnm"], fault_budgets=[1],
+                                        verify_samples=5,
+                                        max_sampling_baseline_samples=30)
+        table = e3_vs_baselines.run(config, rng=0)
+        by_algo = {row["algorithm"]: row for row in table.rows}
+        assert by_algo["ft-greedy"]["spanner_edges"] <= by_algo["sampling-union"]["spanner_edges"]
+        assert by_algo["ft-greedy"]["spanner_edges"] <= by_algo["trivial"]["spanner_edges"]
+        assert by_algo["ft-greedy"]["ft_check"] == "ok"
+        assert by_algo["greedy (f=0)"]["spanner_edges"] <= by_algo["ft-greedy"]["spanner_edges"]
+
+    def test_e4_all_edges_forced(self):
+        config = e4_lower_bound.Config(cases=[(2, 3.0, 10)], forced_edge_sample=10)
+        table = e4_lower_bound.run(config, rng=0)
+        row = table.rows[0]
+        assert row["forced_fraction"] == 1.0
+        assert row["greedy_keeps"] == row["edges"]
+
+    def test_e5_blocking_sets_within_bound(self):
+        config = e5_blocking_sets.Config(workloads=["tiny-gnm"], fault_budgets=[1])
+        table = e5_blocking_sets.run(config, rng=0)
+        for row in table.rows:
+            assert row["within_bound"]
+            assert row["verified"] == "ok"
+
+    def test_e6_girth_holds_at_prescribed_sample_size(self):
+        config = e6_subsampling.Config(workloads=["tiny-gnm"], fault_budgets=[1],
+                                       trials=3, sample_multipliers=[1.0])
+        table = e6_subsampling.run(config, rng=0)
+        assert all(row["girth_ok"] for row in table.rows)
+
+    def test_e7_eft_not_larger_than_vft(self):
+        config = e7_vft_vs_eft.Config(workloads=["tiny-gnm"], fault_budgets=[1])
+        table = e7_vft_vs_eft.run(config, rng=0)
+        for row in table.rows:
+            assert row["eft_edges"] <= row["vft_edges"]
+            assert row["greedy_f0"] <= row["vft_edges"]
+
+    def test_e8_heuristic_not_slower_than_exhaustive(self):
+        config = e8_runtime.Config(workload="tiny-gnm", fault_budgets=[1],
+                                   exhaustive_up_to=1, verify_samples=5)
+        table = e8_runtime.run(config, rng=0)
+        by_oracle = {row["oracle"]: row for row in table.rows}
+        assert by_oracle["exhaustive"]["distance_queries"] >= \
+            by_oracle["branch-and-bound"]["distance_queries"]
+        assert by_oracle["branch-and-bound"]["ft_check"] == "ok"
+
+    def test_e9_ft_greedy_within_stretch_but_plain_greedy_not(self):
+        config = e9_fault_verification.Config(workloads=["tiny-gnm"], fault_budgets=[1],
+                                              sampled_checks=10)
+        table = e9_fault_verification.run(config, rng=0)
+        by_algo = {row["algorithm"]: row for row in table.rows}
+        assert by_algo["ft-greedy"]["within_stretch"]
+        assert not by_algo["greedy (f=0)"]["within_stretch"]
+
+    def test_e10_edge_blocking_verified(self):
+        config = e10_edge_blocking.Config(cases=[(2, 3.0, 10)])
+        table = e10_edge_blocking.run(config, rng=0)
+        row = table.rows[0]
+        assert row["within_bound"]
+        assert row["verified"] == "ok"
+
+    def test_quick_presets_exist(self):
+        for module in (e1_size_vs_n, e2_size_vs_f, e3_vs_baselines, e4_lower_bound,
+                       e5_blocking_sets, e6_subsampling, e7_vft_vs_eft, e8_runtime,
+                       e9_fault_verification, e10_edge_blocking):
+            quick = module.Config.quick()
+            full = module.Config.full()
+            assert quick is not None and full is not None

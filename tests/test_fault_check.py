@@ -1,0 +1,170 @@
+"""Tests for the fault-check oracles (the inner decision problem of Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.faults.models import get_fault_model
+from repro.graph import generators
+from repro.graph.core import Graph
+from repro.paths.dijkstra import bounded_distance
+from repro.spanners.fault_check import (
+    BranchAndBoundOracle,
+    ExhaustiveOracle,
+    FaultCheckOracle,
+    GreedyPathPackingOracle,
+    get_oracle,
+)
+
+
+def _witness_is_valid(graph, source, target, budget, max_faults, model_name, witness):
+    """Independent check that a returned fault set really breaks the pair."""
+    model = get_fault_model(model_name)
+    assert len(witness) <= max_faults
+    view = model.apply(graph, witness)
+    return bounded_distance(view, source, target, budget) > budget
+
+
+class TestOracleResolution:
+    def test_default_is_branch_and_bound(self):
+        assert isinstance(get_oracle(None), BranchAndBoundOracle)
+
+    def test_lookup_by_name(self):
+        assert isinstance(get_oracle("exhaustive"), ExhaustiveOracle)
+        assert isinstance(get_oracle("bnb"), BranchAndBoundOracle)
+        assert isinstance(get_oracle("heuristic"), GreedyPathPackingOracle)
+
+    def test_instance_passthrough(self):
+        oracle = ExhaustiveOracle()
+        assert get_oracle(oracle) is oracle
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_oracle("magic")
+
+    def test_exactness_flags(self):
+        assert ExhaustiveOracle.exact
+        assert BranchAndBoundOracle.exact
+        assert not GreedyPathPackingOracle.exact
+
+
+class TestSimpleInstances:
+    def test_already_far_apart_needs_no_faults(self, weighted_path):
+        oracle = BranchAndBoundOracle()
+        witness = oracle.find_breaking_fault_set(weighted_path, 0, 4, budget=5.0,
+                                                 max_faults=2, fault_model="vertex")
+        assert witness == frozenset()
+
+    def test_single_cut_vertex(self):
+        path = generators.path_graph(3)  # 0 - 1 - 2
+        oracle = BranchAndBoundOracle()
+        witness = oracle.find_breaking_fault_set(path, 0, 2, budget=10.0,
+                                                 max_faults=1, fault_model="vertex")
+        assert witness == frozenset({1})
+
+    def test_single_cut_edge(self):
+        path = generators.path_graph(2)
+        oracle = BranchAndBoundOracle()
+        witness = oracle.find_breaking_fault_set(path, 0, 1, budget=10.0,
+                                                 max_faults=1, fault_model="edge")
+        assert witness == frozenset({(0, 1)})
+
+    def test_two_disjoint_paths_need_two_faults(self):
+        # Two vertex-disjoint 2-paths between 0 and 3.
+        graph = Graph(edges=[(0, 1), (1, 3), (0, 2), (2, 3)])
+        oracle = BranchAndBoundOracle()
+        assert oracle.find_breaking_fault_set(graph, 0, 3, budget=5.0,
+                                              max_faults=1, fault_model="vertex") is None
+        witness = oracle.find_breaking_fault_set(graph, 0, 3, budget=5.0,
+                                                 max_faults=2, fault_model="vertex")
+        assert witness == frozenset({1, 2})
+
+    def test_budget_makes_long_detour_irrelevant(self):
+        # 0-1-2 plus a long detour 0-3-4-5-2: with budget 3 the detour does not help.
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 3), (3, 4), (4, 5), (5, 2)])
+        oracle = BranchAndBoundOracle()
+        witness = oracle.find_breaking_fault_set(graph, 0, 2, budget=3.0,
+                                                 max_faults=1, fault_model="vertex")
+        assert witness == frozenset({1})
+
+    def test_direct_edge_cannot_be_broken_by_vertex_faults(self, triangle):
+        oracle = BranchAndBoundOracle()
+        witness = oracle.find_breaking_fault_set(triangle, 0, 1, budget=1.0,
+                                                 max_faults=3, fault_model="vertex")
+        assert witness is None
+
+    def test_direct_edge_can_be_broken_by_edge_fault(self, triangle):
+        oracle = BranchAndBoundOracle()
+        witness = oracle.find_breaking_fault_set(triangle, 0, 1, budget=1.5,
+                                                 max_faults=1, fault_model="edge")
+        assert witness is not None
+        assert _witness_is_valid(triangle, 0, 1, 1.5, 1, "edge", witness)
+
+    def test_zero_fault_budget(self, triangle):
+        oracle = BranchAndBoundOracle()
+        assert oracle.find_breaking_fault_set(triangle, 0, 1, budget=2.0,
+                                              max_faults=0, fault_model="vertex") is None
+
+
+class TestOracleAgreement:
+    """Exact oracles must agree with each other; witnesses must be genuine."""
+
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    @pytest.mark.parametrize("max_faults", [0, 1, 2])
+    def test_exhaustive_vs_branch_and_bound(self, fault_model, max_faults):
+        graph = generators.gnm(10, 22, rng=13, connected=True)
+        exhaustive = ExhaustiveOracle()
+        bnb = BranchAndBoundOracle()
+        budget = 3.0
+        pairs = [(0, 5), (1, 7), (2, 9), (3, 4), (6, 8)]
+        for source, target in pairs:
+            answer_a = exhaustive.find_breaking_fault_set(
+                graph, source, target, budget, max_faults, fault_model)
+            answer_b = bnb.find_breaking_fault_set(
+                graph, source, target, budget, max_faults, fault_model)
+            assert (answer_a is None) == (answer_b is None)
+            for witness in (answer_a, answer_b):
+                if witness is not None:
+                    assert _witness_is_valid(graph, source, target, budget,
+                                             max_faults, fault_model, witness)
+
+    def test_heuristic_witnesses_are_sound(self):
+        graph = generators.gnm(12, 30, rng=3, connected=True)
+        heuristic = GreedyPathPackingOracle()
+        for source, target in [(0, 6), (1, 8), (2, 11)]:
+            witness = heuristic.find_breaking_fault_set(
+                graph, source, target, 3.0, 2, "vertex")
+            if witness is not None:
+                assert _witness_is_valid(graph, source, target, 3.0, 2, "vertex", witness)
+
+    def test_heuristic_never_claims_break_when_exact_says_impossible(self):
+        graph = generators.gnm(12, 30, rng=5, connected=True)
+        heuristic = GreedyPathPackingOracle()
+        exact = BranchAndBoundOracle()
+        for source, target in [(0, 1), (2, 3), (4, 5)]:
+            heuristic_answer = heuristic.find_breaking_fault_set(
+                graph, source, target, 3.0, 1, "vertex")
+            exact_answer = exact.find_breaking_fault_set(
+                graph, source, target, 3.0, 1, "vertex")
+            if exact_answer is None:
+                assert heuristic_answer is None
+
+
+class TestStats:
+    def test_counters_accumulate_and_reset(self, small_random):
+        oracle = BranchAndBoundOracle()
+        oracle.find_breaking_fault_set(small_random, 0, 5, 3.0, 1, "vertex")
+        assert oracle.stats.queries == 1
+        assert oracle.stats.distance_queries >= 1
+        oracle.stats.reset()
+        assert oracle.stats.queries == 0
+        assert oracle.stats.distance_queries == 0
+
+    def test_branch_and_bound_cheaper_than_exhaustive(self):
+        graph = generators.gnm(14, 40, rng=2, connected=True)
+        exhaustive = ExhaustiveOracle()
+        bnb = BranchAndBoundOracle()
+        for source, target in [(0, 7), (1, 9)]:
+            exhaustive.find_breaking_fault_set(graph, source, target, 3.0, 2, "vertex")
+            bnb.find_breaking_fault_set(graph, source, target, 3.0, 2, "vertex")
+        assert bnb.stats.distance_queries < exhaustive.stats.distance_queries

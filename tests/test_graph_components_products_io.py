@@ -1,0 +1,244 @@
+"""Tests for connectivity utilities, graph products, I/O, and networkx interop."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph import generators
+from repro.graph.components import (
+    UnionFind,
+    component_of,
+    connected_components,
+    is_connected,
+    largest_component_subgraph,
+)
+from repro.graph.convert import from_networkx, to_networkx
+from repro.graph.core import Graph
+from repro.graph.girth import girth
+from repro.graph.io import (
+    graph_from_json,
+    graph_to_json,
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+from repro.graph.products import cartesian_product, relabel_product_nodes, strong_product, tensor_product
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        components = connected_components(triangle)
+        assert len(components) == 1
+        assert sorted(components[0]) == [0, 1, 2]
+
+    def test_multiple_components(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        graph.add_node(4)
+        components = connected_components(graph)
+        assert len(components) == 3
+
+    def test_is_connected(self, triangle):
+        assert is_connected(triangle)
+        assert is_connected(Graph())
+        assert is_connected(Graph(nodes=[0]))
+        disconnected = Graph(edges=[(0, 1)])
+        disconnected.add_node(2)
+        assert not is_connected(disconnected)
+
+    def test_component_of(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (3, 4)])
+        assert sorted(component_of(graph, 0)) == [0, 1, 2]
+        assert sorted(component_of(graph, 4)) == [3, 4]
+
+    def test_largest_component_subgraph(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (3, 4)])
+        largest = largest_component_subgraph(graph)
+        assert largest.number_of_nodes() == 3
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind(range(5))
+        assert uf.union(0, 1)
+        assert uf.union(1, 2)
+        assert not uf.union(0, 2)  # already connected
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_component_count(self):
+        uf = UnionFind(range(4))
+        assert uf.component_count() == 4
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.component_count() == 2
+
+    def test_groups(self):
+        uf = UnionFind("abcd")
+        uf.union("a", "b")
+        groups = sorted(sorted(group) for group in uf.groups())
+        assert groups == [["a", "b"], ["c"], ["d"]]
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UnionFind().find(0)
+
+    def test_add_idempotent_and_len(self):
+        uf = UnionFind()
+        uf.add(1)
+        uf.add(1)
+        assert len(uf) == 1
+        assert 1 in uf
+
+
+class TestProducts:
+    def test_cartesian_product_counts(self):
+        path2 = generators.path_graph(2)
+        path3 = generators.path_graph(3)
+        product = cartesian_product(path2, path3)
+        # |V| = 2*3, |E| = 2*|E(P3)| + 3*|E(P2)| = 2*2 + 3*1 = 7
+        assert product.number_of_nodes() == 6
+        assert product.number_of_edges() == 7
+
+    def test_cartesian_product_is_grid(self):
+        product = cartesian_product(generators.path_graph(3), generators.path_graph(4))
+        grid = generators.grid_2d(3, 4)
+        assert product.number_of_edges() == grid.number_of_edges()
+
+    def test_cartesian_product_weight_rules(self):
+        weighted = Graph(edges=[(0, 1, 2.0)])
+        other = Graph(edges=[("a", "b", 3.0)])
+        copied = cartesian_product(weighted, other, weight_rule="copy")
+        assert copied.weight((0, "a"), (1, "a")) == 2.0
+        assert copied.weight((0, "a"), (0, "b")) == 3.0
+        unit = cartesian_product(weighted, other, weight_rule="unit")
+        assert all(w == 1.0 for _, _, w in unit.edges())
+
+    def test_cartesian_product_invalid_rule(self):
+        with pytest.raises(ValueError):
+            cartesian_product(Graph(), Graph(), weight_rule="bogus")
+
+    def test_tensor_product_counts(self):
+        k2 = generators.complete_graph(2)
+        k3 = generators.complete_graph(3)
+        product = tensor_product(k2, k3)
+        # Tensor of K2 x K3 = K_{3,3}: 6 nodes, 2*|E(K2)|*|E(K3)|... here 6 edges? K_{3,3} has 9.
+        assert product.number_of_nodes() == 6
+        assert product.number_of_edges() == 2 * 1 * 3
+
+    def test_strong_product_contains_cartesian(self):
+        path2 = generators.path_graph(2)
+        path3 = generators.path_graph(3)
+        cart = cartesian_product(path2, path3)
+        strong = strong_product(path2, path3)
+        assert cart.number_of_edges() <= strong.number_of_edges()
+        for u, v, _ in cart.edges():
+            assert strong.has_edge(u, v)
+
+    def test_product_girth_preserved_by_cartesian_with_k2(self):
+        petersen = generators.petersen_graph()
+        prism = cartesian_product(petersen, generators.complete_graph(2))
+        assert girth(prism) == 4  # squares appear across the two copies
+
+    def test_relabel_product_nodes(self):
+        product = cartesian_product(generators.path_graph(2), generators.path_graph(2))
+        relabeled, mapping = relabel_product_nodes(product)
+        assert set(relabeled.nodes()) == {0, 1, 2, 3}
+        assert len(mapping) == 4
+
+
+class TestIO:
+    def test_edge_list_round_trip(self, tmp_path, small_weighted_random):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_weighted_random, path)
+        loaded = read_edge_list(path)
+        assert loaded.same_structure(small_weighted_random, tol=1e-9)
+
+    def test_edge_list_two_token_lines(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n1 2\n# comment\n\n")
+        graph = read_edge_list(path)
+        assert graph.number_of_edges() == 2
+        assert graph.weight(0, 1) == 1.0
+
+    def test_edge_list_bad_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(Exception):
+            read_edge_list(path)
+
+    def test_edge_list_string_labels(self, tmp_path):
+        path = tmp_path / "named.txt"
+        path.write_text("alpha beta 2.0\n")
+        graph = read_edge_list(path)
+        assert graph.has_edge("alpha", "beta")
+
+    def test_json_round_trip(self, tmp_path, small_weighted_random):
+        path = tmp_path / "graph.json"
+        write_json(small_weighted_random, path)
+        loaded = read_json(path)
+        assert loaded.same_structure(small_weighted_random, tol=1e-9)
+
+    def test_json_preserves_isolated_nodes(self, tmp_path):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        path = tmp_path / "isolated.json"
+        write_json(graph, path)
+        assert read_json(path).number_of_nodes() == 3
+
+    def test_json_restores_tuple_labels(self):
+        graph = Graph(edges=[((0, 1), (0, 2))])
+        document = graph_to_json(graph)
+        restored = graph_from_json(document)
+        assert restored.has_edge((0, 1), (0, 2))
+
+    def test_json_rejects_foreign_documents(self):
+        with pytest.raises(Exception):
+            graph_from_json({"format": "something-else"})
+
+    def test_json_metadata_filtered(self):
+        graph = Graph(edges=[(0, 1)])
+        graph.metadata["ok"] = {"a": 1}
+        graph.metadata["bad"] = object()
+        document = graph_to_json(graph)
+        assert "ok" in document["metadata"]
+        assert "bad" not in document["metadata"]
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, small_weighted_random):
+        nx_graph = to_networkx(small_weighted_random)
+        back = from_networkx(nx_graph)
+        assert back.same_structure(small_weighted_random, tol=1e-9)
+
+    def test_to_networkx_weights(self, weighted_path):
+        nx_graph = to_networkx(weighted_path)
+        assert nx_graph[0][1]["weight"] == 1.0
+        assert nx_graph[3][4]["weight"] == 4.0
+
+    def test_from_networkx_defaults(self):
+        nx_graph = nx.path_graph(4)
+        graph = from_networkx(nx_graph)
+        assert graph.number_of_edges() == 3
+        assert graph.weight(0, 1) == 1.0
+
+    def test_from_networkx_drops_self_loops(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 0)
+        nx_graph.add_edge(0, 1)
+        graph = from_networkx(nx_graph)
+        assert graph.number_of_edges() == 1
+
+    def test_from_networkx_directed_symmetrised(self):
+        digraph = nx.DiGraph()
+        digraph.add_edge(0, 1, weight=5.0)
+        digraph.add_edge(1, 0, weight=3.0)
+        graph = from_networkx(digraph)
+        assert graph.number_of_edges() == 1
+        assert graph.weight(0, 1) == 3.0
+
+    def test_custom_weight_attribute(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("a", "b", cost=7.0)
+        graph = from_networkx(nx_graph, weight_attribute="cost")
+        assert graph.weight("a", "b") == 7.0

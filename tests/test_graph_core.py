@@ -1,0 +1,248 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+
+from repro.graph.core import Graph, GraphError, density, edge_key, is_unit_weighted
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+        assert list(graph.nodes()) == []
+        assert list(graph.edges()) == []
+
+    def test_nodes_only(self):
+        graph = Graph(nodes=[3, 1, 2])
+        assert graph.number_of_nodes() == 3
+        assert list(graph.nodes()) == [3, 1, 2]  # insertion order preserved
+
+    def test_edges_with_default_weight(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert graph.number_of_edges() == 2
+        assert graph.weight(0, 1) == 1.0
+
+    def test_edges_with_explicit_weight(self):
+        graph = Graph(edges=[(0, 1, 2.5)])
+        assert graph.weight(0, 1) == 2.5
+        assert graph.weight(1, 0) == 2.5
+
+    def test_bad_edge_tuple_length(self):
+        with pytest.raises(GraphError):
+            Graph(edges=[(0, 1, 2.0, 3.0)])
+
+    def test_name_and_metadata(self):
+        graph = Graph(name="demo")
+        graph.metadata["family"] = "test"
+        assert graph.name == "demo"
+        assert graph.copy().metadata["family"] == "test"
+
+
+class TestNodeOperations:
+    def test_add_node_idempotent(self):
+        graph = Graph()
+        graph.add_node(5)
+        graph.add_node(5)
+        assert graph.number_of_nodes() == 1
+
+    def test_add_nodes_bulk(self):
+        graph = Graph()
+        graph.add_nodes(range(10))
+        assert graph.number_of_nodes() == 10
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        graph.remove_node(1)
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 1
+        assert graph.has_edge(0, 2)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            Graph().remove_node(0)
+
+    def test_has_node_and_contains(self):
+        graph = Graph(nodes=[1])
+        assert graph.has_node(1)
+        assert 1 in graph
+        assert 2 not in graph
+
+    def test_string_node_labels(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c")])
+        assert graph.has_edge("a", "b")
+        assert graph.degree("b") == 2
+
+    def test_tuple_node_labels(self):
+        graph = Graph(edges=[((0, 1), (0, 2))])
+        assert graph.has_edge((0, 1), (0, 2))
+
+
+class TestEdgeOperations:
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 2.0)
+        assert graph.has_node(0) and graph.has_node(1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph().add_edge(0, 0)
+
+    def test_nonpositive_weight_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, 0.0)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, -1.0)
+
+    def test_nan_and_inf_weight_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, float("nan"))
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, float("inf"))
+
+    def test_readd_edge_overwrites_weight(self):
+        graph = Graph(edges=[(0, 1, 1.0)])
+        graph.add_edge(0, 1, 5.0)
+        assert graph.number_of_edges() == 1
+        assert graph.weight(0, 1) == 5.0
+
+    def test_remove_edge(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_node(0)
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(GraphError):
+            Graph(nodes=[0, 1]).remove_edge(0, 1)
+
+    def test_weight_of_missing_edge_raises(self):
+        with pytest.raises(GraphError):
+            Graph(nodes=[0, 1]).weight(0, 1)
+
+    def test_edges_reported_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        keys = {edge_key(u, v) for u, v, _ in edges}
+        assert keys == {(0, 1), (1, 2), (0, 2)}
+
+    def test_edge_keys(self, triangle):
+        assert set(triangle.edge_keys()) == {(0, 1), (1, 2), (0, 2)}
+
+    def test_total_weight(self):
+        graph = Graph(edges=[(0, 1, 2.0), (1, 2, 3.0)])
+        assert graph.total_weight() == pytest.approx(5.0)
+
+
+class TestDegreesAndAdjacency:
+    def test_degree(self, triangle):
+        assert triangle.degree(0) == 2
+
+    def test_degree_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            Graph().degree(0)
+
+    def test_neighbors(self, triangle):
+        assert set(triangle.neighbors(0)) == {1, 2}
+
+    def test_adjacency_mapping(self, square_with_diagonal):
+        adjacency = square_with_diagonal.adjacency(0)
+        assert adjacency[2] == 1.5
+        assert set(adjacency) == {1, 3, 2}
+
+    def test_max_min_average_degree(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert graph.max_degree() == 2
+        assert graph.min_degree() == 1
+        assert graph.average_degree() == pytest.approx(4 / 3)
+
+    def test_degree_statistics_on_empty_graph(self):
+        graph = Graph()
+        assert graph.max_degree() == 0
+        assert graph.min_degree() == 0
+        assert graph.average_degree() == 0.0
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+
+    def test_subgraph_induces_edges(self, square_with_diagonal):
+        sub = square_with_diagonal.subgraph([0, 1, 2])
+        assert sub.number_of_nodes() == 3
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2) and sub.has_edge(0, 2)
+        assert not sub.has_edge(2, 3)
+
+    def test_subgraph_ignores_unknown_nodes(self, triangle):
+        sub = triangle.subgraph([0, 1, 99])
+        assert sub.number_of_nodes() == 2
+
+    def test_edge_subgraph_keeps_all_nodes(self, square_with_diagonal):
+        sub = square_with_diagonal.edge_subgraph([(0, 1)])
+        assert sub.number_of_nodes() == 4
+        assert sub.number_of_edges() == 1
+        assert sub.weight(0, 1) == 1.0
+
+    def test_spanning_subgraph_is_empty(self, triangle):
+        empty = triangle.spanning_subgraph()
+        assert empty.number_of_nodes() == 3
+        assert empty.number_of_edges() == 0
+
+    def test_relabeled(self, triangle):
+        renamed = triangle.relabeled({0: "a", 1: "b", 2: "c"})
+        assert renamed.has_edge("a", "b")
+        assert renamed.number_of_edges() == 3
+
+    def test_relabeled_requires_injective_mapping(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.relabeled({0: "x", 1: "x"})
+
+    def test_with_integer_labels(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c")])
+        relabeled, mapping = graph.with_integer_labels()
+        assert set(relabeled.nodes()) == {0, 1, 2}
+        assert relabeled.has_edge(mapping["a"], mapping["b"])
+
+
+class TestComparison:
+    def test_same_structure(self, triangle):
+        assert triangle.same_structure(triangle.copy())
+
+    def test_same_structure_detects_weight_difference(self):
+        a = Graph(edges=[(0, 1, 1.0)])
+        b = Graph(edges=[(0, 1, 2.0)])
+        assert not a.same_structure(b)
+
+    def test_is_subgraph_of(self, square_with_diagonal):
+        sub = square_with_diagonal.edge_subgraph([(0, 1), (1, 2)])
+        assert sub.is_subgraph_of(square_with_diagonal)
+        assert not square_with_diagonal.is_subgraph_of(sub)
+
+    def test_len_and_iter(self, triangle):
+        assert len(triangle) == 3
+        assert sorted(triangle) == [0, 1, 2]
+
+    def test_repr_mentions_counts(self, triangle):
+        assert "n=3" in repr(triangle)
+        assert "m=3" in repr(triangle)
+
+
+class TestModuleHelpers:
+    def test_edge_key_orders_endpoints(self):
+        assert edge_key(2, 1) == (1, 2)
+        assert edge_key("b", "a") == ("a", "b")
+
+    def test_edge_key_mixed_types_is_deterministic(self):
+        assert edge_key((1, 0), "x") == edge_key("x", (1, 0))
+
+    def test_density(self, triangle):
+        assert density(triangle) == pytest.approx(1.0)
+        assert density(Graph(nodes=[0])) == 0.0
+
+    def test_is_unit_weighted(self, triangle, weighted_path):
+        assert is_unit_weighted(triangle)
+        assert not is_unit_weighted(weighted_path)

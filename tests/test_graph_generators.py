@@ -1,0 +1,220 @@
+"""Unit tests for the graph generators."""
+
+import math
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.components import is_connected
+from repro.graph.core import is_unit_weighted
+from repro.graph.girth import girth
+
+
+class TestRandomFamilies:
+    def test_gnp_bounds(self):
+        graph = generators.gnp(20, 0.3, rng=0)
+        assert graph.number_of_nodes() == 20
+        assert 0 <= graph.number_of_edges() <= 190
+
+    def test_gnp_extremes(self):
+        assert generators.gnp(10, 0.0, rng=0).number_of_edges() == 0
+        assert generators.gnp(10, 1.0, rng=0).number_of_edges() == 45
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(ValueError):
+            generators.gnp(5, 1.5)
+
+    def test_gnp_reproducible(self):
+        a = generators.gnp(15, 0.4, rng=42)
+        b = generators.gnp(15, 0.4, rng=42)
+        assert a.same_structure(b)
+
+    def test_gnm_exact_edge_count(self):
+        graph = generators.gnm(25, 60, rng=1)
+        assert graph.number_of_edges() == 60
+
+    def test_gnm_connected_flag(self):
+        graph = generators.gnm(30, 35, rng=2, connected=True)
+        assert is_connected(graph)
+        assert graph.number_of_edges() == 35
+
+    def test_gnm_connected_needs_enough_edges(self):
+        with pytest.raises(ValueError):
+            generators.gnm(10, 5, connected=True)
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            generators.gnm(5, 11)
+
+    def test_gnm_weighted(self):
+        graph = generators.gnm(20, 40, rng=3, weighted=True, weight_range=(2.0, 4.0))
+        assert all(2.0 <= w <= 4.0 for _, _, w in graph.edges())
+
+    def test_gnm_dense_sampling_path(self):
+        # Request most of the possible edges to exercise the pool-sampling branch.
+        graph = generators.gnm(10, 40, rng=4)
+        assert graph.number_of_edges() == 40
+
+    def test_random_weighted_gnm(self):
+        graph = generators.random_weighted_gnm(20, 50, rng=5)
+        assert is_connected(graph)
+        assert not is_unit_weighted(graph)
+
+    def test_random_geometric(self):
+        graph = generators.random_geometric(40, 0.3, rng=6)
+        positions = graph.metadata["positions"]
+        assert len(positions) == 40
+        for u, v, w in graph.edges():
+            xu, yu = positions[u]
+            xv, yv = positions[v]
+            assert w == pytest.approx(math.hypot(xu - xv, yu - yv))
+            assert w <= 0.3 + 1e-12
+
+    def test_random_geometric_unweighted(self):
+        graph = generators.random_geometric(30, 0.4, rng=7, weighted=False)
+        assert is_unit_weighted(graph)
+
+    def test_random_regular_like(self):
+        graph = generators.random_regular_like(20, 4, rng=8)
+        assert graph.number_of_nodes() == 20
+        assert graph.max_degree() <= 4
+
+    def test_random_regular_like_parity_check(self):
+        with pytest.raises(ValueError):
+            generators.random_regular_like(5, 3)
+
+    def test_ensure_connected_gnm(self):
+        graph = generators.ensure_connected_gnm(20, 30, rng=9)
+        assert is_connected(graph)
+
+
+class TestStructuredFamilies:
+    def test_path_graph(self):
+        graph = generators.path_graph(5)
+        assert graph.number_of_edges() == 4
+        assert girth(graph) == math.inf
+
+    def test_cycle_graph(self):
+        graph = generators.cycle_graph(6)
+        assert graph.number_of_edges() == 6
+        assert girth(graph) == 6
+
+    def test_cycle_graph_too_small(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_complete_graph(self):
+        graph = generators.complete_graph(6)
+        assert graph.number_of_edges() == 15
+        assert graph.min_degree() == 5
+
+    def test_complete_bipartite(self):
+        graph = generators.complete_bipartite(3, 4)
+        assert graph.number_of_nodes() == 7
+        assert graph.number_of_edges() == 12
+        assert graph.degree(0) == 4
+        assert graph.degree(3) == 3
+
+    def test_star_graph(self):
+        graph = generators.star_graph(6)
+        assert graph.degree(0) == 6
+        assert graph.number_of_edges() == 6
+
+    def test_grid_2d(self):
+        graph = generators.grid_2d(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert is_connected(graph)
+
+    def test_grid_2d_diagonal(self):
+        plain = generators.grid_2d(3, 3)
+        diag = generators.grid_2d(3, 3, diagonal=True)
+        assert diag.number_of_edges() == plain.number_of_edges() + 4
+
+    def test_hypercube(self):
+        graph = generators.hypercube(4)
+        assert graph.number_of_nodes() == 16
+        assert graph.number_of_edges() == 32
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+        assert girth(graph) == 4
+
+    def test_hypercube_dimension_zero(self):
+        graph = generators.hypercube(0)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+    def test_barbell(self):
+        graph = generators.barbell_graph(4, 3)
+        assert is_connected(graph)
+        assert graph.number_of_nodes() == 2 * 4 + 2
+
+    def test_connected_caveman(self):
+        graph = generators.connected_caveman(4, 5)
+        assert graph.number_of_nodes() == 20
+        assert is_connected(graph)
+
+    def test_connected_caveman_validation(self):
+        with pytest.raises(ValueError):
+            generators.connected_caveman(1, 5)
+
+
+class TestHighGirthFamilies:
+    def test_petersen_counts(self):
+        graph = generators.petersen_graph()
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == 15
+        assert all(graph.degree(node) == 3 for node in graph.nodes())
+
+    def test_heawood_counts(self):
+        graph = generators.heawood_graph()
+        assert graph.number_of_nodes() == 14
+        assert graph.number_of_edges() == 21
+        assert all(graph.degree(node) == 3 for node in graph.nodes())
+
+    def test_mcgee_counts(self):
+        graph = generators.mcgee_graph()
+        assert graph.number_of_nodes() == 24
+        assert graph.number_of_edges() == 36
+
+    def test_tutte_coxeter_counts(self):
+        graph = generators.tutte_coxeter_graph()
+        assert graph.number_of_nodes() == 30
+        assert graph.number_of_edges() == 45
+
+    def test_cage_lookup(self):
+        assert generators.cage(5).name == "petersen"
+        assert generators.cage(8).name == "tutte_coxeter"
+        with pytest.raises(ValueError):
+            generators.cage(9)
+
+    def test_projective_plane_incidence(self):
+        graph = generators.incidence_projective_plane(2)
+        # PG(2,2) has 7 points and 7 lines, 3 points per line.
+        assert graph.number_of_nodes() == 14
+        assert graph.number_of_edges() == 21
+        assert girth(graph) == 6
+
+    def test_projective_plane_q3(self):
+        graph = generators.incidence_projective_plane(3)
+        assert graph.number_of_nodes() == 2 * 13
+        assert graph.number_of_edges() == 4 * 13
+        assert girth(graph) == 6
+
+    def test_projective_plane_requires_prime(self):
+        with pytest.raises(ValueError):
+            generators.incidence_projective_plane(4)
+
+    @pytest.mark.parametrize("target", [3, 4, 5])
+    def test_high_girth_greedy(self, target):
+        graph = generators.high_girth_greedy(20, target, rng=1)
+        assert girth(graph) > target
+        assert graph.number_of_edges() > 0
+
+    def test_high_girth_greedy_validation(self):
+        with pytest.raises(ValueError):
+            generators.high_girth_greedy(10, 2)
+
+    def test_metadata_recorded(self):
+        graph = generators.gnm(10, 20, rng=0)
+        assert graph.metadata["family"] == "gnm"
+        assert graph.metadata["n"] == 10

@@ -1,0 +1,149 @@
+"""Unit tests for girth computation and short-cycle enumeration."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph import generators
+from repro.graph.convert import to_networkx
+from repro.graph.core import Graph
+from repro.graph.girth import (
+    cycle_edges,
+    enumerate_short_cycles,
+    girth,
+    girth_exceeds,
+    has_cycle_at_most,
+    shortest_cycle_through_edge,
+)
+
+
+class TestGirthBasics:
+    def test_forest_has_infinite_girth(self):
+        tree = generators.path_graph(6)
+        assert girth(tree) == math.inf
+
+    def test_triangle(self, triangle):
+        assert girth(triangle) == 3
+
+    def test_cycle_graph(self):
+        assert girth(generators.cycle_graph(7)) == 7
+
+    def test_square_with_diagonal(self, square_with_diagonal):
+        assert girth(square_with_diagonal) == 3
+
+    def test_complete_graph(self):
+        assert girth(generators.complete_graph(5)) == 3
+
+    def test_complete_bipartite(self):
+        assert girth(generators.complete_bipartite(3, 3)) == 4
+
+    def test_petersen_girth_five(self, petersen):
+        assert girth(petersen) == 5
+
+    def test_heawood_girth_six(self):
+        assert girth(generators.heawood_graph()) == 6
+
+    def test_mcgee_girth_seven(self):
+        assert girth(generators.mcgee_graph()) == 7
+
+    def test_tutte_coxeter_girth_eight(self):
+        assert girth(generators.tutte_coxeter_graph()) == 8
+
+    def test_girth_ignores_weights(self):
+        graph = Graph(edges=[(0, 1, 10.0), (1, 2, 0.1), (2, 0, 5.0)])
+        assert girth(graph) == 3
+
+    def test_cutoff_returns_inf_above_threshold(self, petersen):
+        assert girth(petersen, cutoff=4) == math.inf
+        assert girth(petersen, cutoff=5) == 5
+
+    def test_empty_graph(self):
+        assert girth(Graph()) == math.inf
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx_girth(self, seed):
+        graph = generators.gnm(14, 24, rng=seed)
+        ours = girth(graph)
+        theirs = nx.girth(to_networkx(graph))
+        expected = math.inf if theirs == math.inf else float(theirs)
+        assert ours == expected
+
+
+class TestCycleQueries:
+    def test_has_cycle_at_most(self, petersen):
+        assert not has_cycle_at_most(petersen, 4)
+        assert has_cycle_at_most(petersen, 5)
+        assert has_cycle_at_most(petersen, 10)
+
+    def test_has_cycle_at_most_small_k(self, triangle):
+        assert not has_cycle_at_most(triangle, 2)
+
+    def test_girth_exceeds(self, petersen):
+        assert girth_exceeds(petersen, 4)
+        assert not girth_exceeds(petersen, 5)
+
+    def test_shortest_cycle_through_edge(self, square_with_diagonal):
+        length, cycle = shortest_cycle_through_edge(square_with_diagonal, 0, 1)
+        assert length == 3
+        assert cycle[0] == 0 and cycle[-1] == 1
+        assert len(cycle) == 3
+
+    def test_shortest_cycle_through_bridge(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        length, cycle = shortest_cycle_through_edge(graph, 0, 1)
+        assert length == math.inf
+        assert cycle == []
+
+    def test_shortest_cycle_missing_edge_raises(self, triangle):
+        with pytest.raises(ValueError):
+            shortest_cycle_through_edge(triangle, 0, 5)
+
+    def test_shortest_cycle_respects_cutoff(self, petersen):
+        length, cycle = shortest_cycle_through_edge(petersen, 0, 1, cutoff=4)
+        assert length == math.inf and cycle == []
+
+
+class TestEnumeration:
+    def test_triangle_enumeration(self, triangle):
+        cycles = enumerate_short_cycles(triangle, 3)
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {0, 1, 2}
+
+    def test_square_with_diagonal_enumeration(self, square_with_diagonal):
+        cycles = enumerate_short_cycles(square_with_diagonal, 4)
+        # Two triangles (0,1,2) and (0,2,3) and the 4-cycle (0,1,2,3).
+        assert len(cycles) == 3
+        sizes = sorted(len(c) for c in cycles)
+        assert sizes == [3, 3, 4]
+
+    def test_enumeration_respects_bound(self, square_with_diagonal):
+        cycles = enumerate_short_cycles(square_with_diagonal, 3)
+        assert all(len(c) == 3 for c in cycles)
+        assert len(cycles) == 2
+
+    def test_enumeration_on_acyclic_graph(self):
+        assert enumerate_short_cycles(generators.path_graph(5), 6) == []
+
+    def test_enumeration_bound_below_three(self, triangle):
+        assert enumerate_short_cycles(triangle, 2) == []
+
+    def test_enumeration_counts_match_networkx(self):
+        graph = generators.gnm(10, 20, rng=5)
+        ours = enumerate_short_cycles(graph, 5)
+        nx_graph = to_networkx(graph)
+        theirs = [c for c in nx.simple_cycles(nx_graph, length_bound=5)]
+        assert len(ours) == len(theirs)
+
+    def test_cycle_edges_helper(self):
+        edges = cycle_edges([0, 1, 2])
+        assert set(edges) == {(0, 1), (1, 2), (0, 2)}
+
+    def test_enumerated_cycles_are_valid(self, petersen):
+        for cycle in enumerate_short_cycles(petersen, 6):
+            assert len(cycle) >= 5  # girth of Petersen
+            for u, v in cycle_edges(cycle):
+                assert petersen.has_edge(u, v)
+            assert len(set(cycle)) == len(cycle)

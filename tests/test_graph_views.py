@@ -1,0 +1,115 @@
+"""Unit tests for exclusion views (the ``H \\ F`` primitive)."""
+
+import pytest
+
+from repro.graph.core import Graph, GraphError
+from repro.graph.views import ExclusionView, graph_minus, induced_subgraph
+
+
+class TestNodeExclusion:
+    def test_excluded_node_invisible(self, triangle):
+        view = graph_minus(triangle, nodes=[1])
+        assert not view.has_node(1)
+        assert view.number_of_nodes() == 2
+        assert set(view.nodes()) == {0, 2}
+
+    def test_excluded_node_hides_incident_edges(self, triangle):
+        view = graph_minus(triangle, nodes=[1])
+        assert not view.has_edge(0, 1)
+        assert view.has_edge(0, 2)
+        assert view.number_of_edges() == 1
+
+    def test_neighbors_of_excluded_node_raise(self, triangle):
+        view = graph_minus(triangle, nodes=[1])
+        with pytest.raises(GraphError):
+            list(view.neighbors(1))
+
+    def test_neighbors_filtered(self, triangle):
+        view = graph_minus(triangle, nodes=[1])
+        assert list(view.neighbors(0)) == [2]
+
+    def test_degree_counts_visible_edges_only(self, square_with_diagonal):
+        view = graph_minus(square_with_diagonal, nodes=[3])
+        assert view.degree(0) == 2  # edges to 1 and 2 survive, edge to 3 hidden
+
+
+class TestEdgeExclusion:
+    def test_excluded_edge_invisible_both_orientations(self, triangle):
+        for orientation in [(0, 1), (1, 0)]:
+            view = graph_minus(triangle, edges=[orientation])
+            assert not view.has_edge(0, 1)
+            assert not view.has_edge(1, 0)
+            assert view.number_of_edges() == 2
+
+    def test_excluded_edge_keeps_endpoints(self, triangle):
+        view = graph_minus(triangle, edges=[(0, 1)])
+        assert view.has_node(0) and view.has_node(1)
+
+    def test_weight_of_excluded_edge_raises(self, triangle):
+        view = graph_minus(triangle, edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            view.weight(0, 1)
+
+    def test_adjacency_filters_excluded_edges(self, square_with_diagonal):
+        view = graph_minus(square_with_diagonal, edges=[(0, 2)])
+        assert 2 not in view.adjacency(0)
+        assert set(view.adjacency(0)) == {1, 3}
+
+    def test_adjacency_without_exclusions_is_passthrough(self, triangle):
+        view = ExclusionView(triangle)
+        assert view.adjacency(0) is triangle.adjacency(0)
+
+
+class TestCombinedAndNested:
+    def test_combined_exclusions(self, square_with_diagonal):
+        view = graph_minus(square_with_diagonal, nodes=[3], edges=[(0, 2)])
+        assert view.number_of_edges() == 2  # (0,1) and (1,2) remain
+        assert set(view.nodes()) == {0, 1, 2}
+
+    def test_nested_views(self, square_with_diagonal):
+        inner = graph_minus(square_with_diagonal, nodes=[3])
+        outer = graph_minus(inner, edges=[(0, 2)])
+        assert not outer.has_edge(0, 2)
+        assert not outer.has_node(3)
+        assert outer.number_of_edges() == 2
+
+    def test_view_is_live(self, triangle):
+        view = graph_minus(triangle, nodes=[2])
+        triangle.add_edge(0, 3)
+        assert view.has_edge(0, 3)
+
+    def test_empty_exclusions_match_graph(self, small_random):
+        view = ExclusionView(small_random)
+        assert view.number_of_nodes() == small_random.number_of_nodes()
+        assert view.number_of_edges() == small_random.number_of_edges()
+
+    def test_contains_and_iter(self, triangle):
+        view = graph_minus(triangle, nodes=[2])
+        assert 0 in view and 2 not in view
+        assert sorted(view) == [0, 1]
+
+    def test_excluded_sets_exposed(self, triangle):
+        view = graph_minus(triangle, nodes=[2], edges=[(0, 1)])
+        assert view.excluded_nodes == frozenset({2})
+        assert view.excluded_edges == frozenset({(0, 1)})
+
+
+class TestMaterialize:
+    def test_materialize_copies_visible_part(self, square_with_diagonal):
+        view = graph_minus(square_with_diagonal, nodes=[3])
+        solid = view.materialize(name="pruned")
+        assert isinstance(solid, Graph)
+        assert solid.name == "pruned"
+        assert solid.number_of_nodes() == 3
+        assert solid.number_of_edges() == 3
+        # Mutating the materialised copy does not touch the original.
+        solid.remove_edge(0, 1)
+        assert square_with_diagonal.has_edge(0, 1)
+
+    def test_materialize_preserves_weights(self, square_with_diagonal):
+        solid = graph_minus(square_with_diagonal, nodes=[]).materialize()
+        assert solid.weight(0, 2) == 1.5
+
+    def test_induced_subgraph_helper(self, square_with_diagonal):
+        sub = induced_subgraph(square_with_diagonal, [0, 1, 2])
+        assert sub.number_of_edges() == 3

@@ -1,0 +1,109 @@
+"""Tests for the classic (non-fault-tolerant) greedy spanner."""
+
+import math
+
+import pytest
+
+from repro.bounds.moore import moore_bound
+from repro.graph import generators
+from repro.graph.core import Graph
+from repro.graph.girth import girth
+from repro.spanners.greedy import greedy_spanner, sorted_edges
+from repro.spanners.verify import is_spanner, stretch_of
+
+
+class TestSortedEdges:
+    def test_sorted_by_weight(self, weighted_path):
+        weights = [w for _, _, w in sorted_edges(weighted_path)]
+        assert weights == sorted(weights)
+
+    def test_deterministic_tie_break(self, small_random):
+        first = [tuple(edge) for edge in sorted_edges(small_random)]
+        second = [tuple(edge) for edge in sorted_edges(small_random)]
+        assert first == second
+
+
+class TestGreedySpanner:
+    def test_invalid_stretch(self, triangle):
+        with pytest.raises(ValueError):
+            greedy_spanner(triangle, 0.5)
+
+    def test_stretch_one_keeps_everything_on_unit_graphs(self, small_random):
+        result = greedy_spanner(small_random, 1)
+        assert result.size == small_random.number_of_edges()
+
+    def test_triangle_stretch_two_drops_an_edge(self, triangle):
+        result = greedy_spanner(triangle, 2)
+        assert result.size == 2
+        assert is_spanner(triangle, result.spanner, 2)
+
+    def test_spanner_property_holds(self, medium_random):
+        for stretch in (3, 5):
+            result = greedy_spanner(medium_random, stretch)
+            assert is_spanner(medium_random, result.spanner, stretch)
+
+    def test_spanner_property_on_weighted_graphs(self, small_weighted_random):
+        result = greedy_spanner(small_weighted_random, 3)
+        assert is_spanner(small_weighted_random, result.spanner, 3)
+
+    def test_output_is_subgraph(self, medium_random):
+        result = greedy_spanner(medium_random, 3)
+        assert result.spanner.is_subgraph_of(medium_random)
+
+    def test_spanner_preserves_connectivity(self, medium_random):
+        result = greedy_spanner(medium_random, 3)
+        assert stretch_of(medium_random, result.spanner) != math.inf
+
+    def test_girth_guarantee(self, medium_random):
+        # The greedy (2k-1)-spanner has girth > 2k: for stretch 3, girth > 4.
+        result = greedy_spanner(medium_random, 3)
+        assert girth(result.spanner, cutoff=4) == math.inf
+
+    def test_girth_guarantee_stretch_five(self, medium_random):
+        result = greedy_spanner(medium_random, 5)
+        assert girth(result.spanner, cutoff=6) == math.inf
+
+    def test_size_respects_moore_bound_shape(self):
+        graph = generators.gnm(60, 600, rng=0, connected=True)
+        result = greedy_spanner(graph, 3)
+        # b(n, 4) for n=60 is below the Moore-form n^{3/2} up to a small constant.
+        assert result.size <= 3 * moore_bound(60, 4)
+
+    def test_complete_graph_stretch3_is_sparse(self):
+        graph = generators.complete_graph(25)
+        result = greedy_spanner(graph, 3)
+        assert result.size < graph.number_of_edges() / 2
+
+    def test_result_counters(self, medium_random):
+        result = greedy_spanner(medium_random, 3)
+        assert result.edges_considered == medium_random.number_of_edges()
+        assert result.edges_added == result.size
+        assert result.distance_queries == result.edges_considered
+        assert result.construction_seconds >= 0.0
+        assert result.algorithm == "greedy"
+        assert result.max_faults == 0
+
+    def test_tree_input_returned_whole(self):
+        tree = generators.path_graph(10)
+        result = greedy_spanner(tree, 3)
+        assert result.size == 9
+
+    def test_disconnected_input(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        result = greedy_spanner(graph, 3)
+        assert result.size == 2
+
+    def test_weighted_stretch_respects_budget(self):
+        # Edge (0,2) of weight 1.5 has an alternative 2-path of weight 2.
+        graph = Graph(edges=[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)])
+        # At stretch 3 the budget is 4.5 >= 2, so the edge is redundant.
+        loose = greedy_spanner(graph, 3)
+        assert not loose.spanner.has_edge(0, 2)
+        # At stretch 1.2 the budget is 1.8 < 2, so the edge must be kept.
+        tight = greedy_spanner(graph, 1.2)
+        assert tight.spanner.has_edge(0, 2)
+
+    def test_metadata_untouched(self, medium_random):
+        before = dict(medium_random.metadata)
+        greedy_spanner(medium_random, 3)
+        assert medium_random.metadata == before

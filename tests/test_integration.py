@@ -1,0 +1,143 @@
+"""Integration tests: end-to-end replays of the paper's storyline.
+
+Each test chains several subsystems the way a user (or the benchmark harness)
+would: build → verify → analyse → compare against the theory.
+"""
+
+import math
+
+import pytest
+
+import repro
+from repro import (
+    bdpw_lower_bound_instance,
+    corollary2_bound,
+    extract_blocking_set,
+    ft_greedy_spanner,
+    generators,
+    greedy_spanner,
+    is_blocking_set,
+    is_ft_spanner,
+    lemma4_subsample,
+    peeling_union_spanner,
+    sampling_union_spanner,
+    stretch_of,
+    theorem1_bound,
+)
+from repro.graph.girth import girth
+from repro.spanners.blocking import theorem1_certificate
+from repro.spanners.base import SpannerResult
+
+
+class TestPublicAPI:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_from_module_docstring(self):
+        graph = generators.gnm(40, 160, rng=0, connected=True)
+        result = ft_greedy_spanner(graph, stretch=3, max_faults=1)
+        assert result.size < graph.number_of_edges()
+        assert bool(is_ft_spanner(graph, result.spanner, stretch=3, max_faults=1,
+                                  method="sampled", samples=25, rng=0))
+
+    def test_spanner_result_summary(self):
+        graph = generators.gnm(20, 60, rng=1, connected=True)
+        result = ft_greedy_spanner(graph, 3, 1)
+        assert isinstance(result, SpannerResult)
+        summary = result.summary()
+        assert summary["n"] == 20
+        assert summary["spanner_edges"] == result.size
+        assert 0 < result.compression_ratio <= 1
+        assert 0 < result.weight_ratio <= 1
+        assert "ft-greedy" in repr(result)
+
+
+class TestTheorem1EndToEnd:
+    """Replay the whole proof pipeline on a concrete instance."""
+
+    def test_proof_pipeline(self):
+        graph = generators.gnm(36, 300, rng=4, connected=True)
+        stretch, faults = 3, 2
+        result = ft_greedy_spanner(graph, stretch, faults)
+
+        # The output is an f-VFT k-spanner (sampled check on this size).
+        assert is_ft_spanner(graph, result.spanner, stretch, faults,
+                             method="sampled", samples=40, rng=0).ok
+
+        # Lemma 3: blocking set of size <= f * |E(H)| that blocks all (k+1)-cycles.
+        blocking = extract_blocking_set(result)
+        assert blocking.size <= faults * result.size
+        assert is_blocking_set(result.spanner, blocking)
+
+        # Lemma 4: subsample has girth > k+1 on ceil(n/2f) nodes.
+        outcome = lemma4_subsample(result.spanner, blocking, faults, rng=0, trials=10)
+        assert outcome.girth_ok
+        assert outcome.sampled_nodes == math.ceil(36 / (2 * faults))
+
+        # Theorem 1 / Corollary 2 size shape (generous constant).
+        assert result.size <= 4 * theorem1_bound(36, faults, stretch)
+        assert result.size <= 4 * corollary2_bound(36, faults, stretch)
+
+        # The whole certificate in one call.
+        certificate = theorem1_certificate(result, rng=1, trials=5)
+        assert certificate["blocking_within_bound"] and certificate["girth_ok"]
+
+    def test_greedy_girth_connection(self):
+        # For f = 0 the blocking set is empty and the theorem degenerates to the
+        # classic statement: the greedy (2k-1)-spanner has girth > 2k.
+        graph = generators.gnm(30, 200, rng=6, connected=True)
+        result = greedy_spanner(graph, 3)
+        assert girth(result.spanner, cutoff=4) == math.inf
+
+
+class TestComparativeStory:
+    def test_ft_greedy_beats_baselines_on_dense_graph(self):
+        graph = generators.gnm(50, 600, rng=8, connected=True)
+        stretch, faults = 3, 2
+        ours = ft_greedy_spanner(graph, stretch, faults)
+        peel = peeling_union_spanner(graph, stretch, faults)
+        sampled = sampling_union_spanner(graph, stretch, faults, rng=0, max_samples=120)
+        assert ours.size <= peel.size
+        assert ours.size < sampled.size
+        assert ours.size < graph.number_of_edges()
+
+    def test_fault_tolerance_costs_edges_but_bounded(self):
+        graph = generators.gnm(40, 500, rng=9, connected=True)
+        plain = greedy_spanner(graph, 3)
+        one_fault = ft_greedy_spanner(graph, 3, 1)
+        two_faults = ft_greedy_spanner(graph, 3, 2)
+        assert plain.size < one_fault.size <= two_faults.size
+        # The f=2 output is nowhere near f times the f=1 output (sublinear growth).
+        assert two_faults.size < 2 * one_fault.size
+
+    def test_non_ft_spanner_breaks_under_faults(self):
+        graph = generators.gnm(30, 250, rng=10, connected=True)
+        plain = greedy_spanner(graph, 3)
+        report = is_ft_spanner(graph, plain.spanner, 3, 1, method="exhaustive")
+        assert not report.ok
+        faulted_stretch = stretch_of(
+            repro.VERTEX_FAULTS.apply(graph, report.violating_fault_set).materialize(),
+            repro.VERTEX_FAULTS.apply(plain.spanner, report.violating_fault_set).materialize(),
+        )
+        assert faulted_stretch > 3
+
+
+class TestLowerBoundEndToEnd:
+    def test_blowup_forces_every_edge_and_greedy_keeps_them(self):
+        instance = bdpw_lower_bound_instance(2, 3)
+        result = ft_greedy_spanner(instance.graph, 3, 2)
+        assert result.size == instance.edges
+        report = is_ft_spanner(instance.graph, result.spanner, 3, 2,
+                               method="sampled", samples=30, rng=0)
+        assert report.ok
+
+    def test_instance_size_matches_theorem1_shape(self):
+        # The instance edge count sits within a constant factor of the
+        # Theorem 1 expression evaluated at its own parameters.
+        for faults in (2, 4):
+            instance = bdpw_lower_bound_instance(faults, 3)
+            bound = theorem1_bound(instance.nodes, faults, 3)
+            assert instance.edges <= bound
+            assert instance.edges >= bound / 40  # loose constant, shape only

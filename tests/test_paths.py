@@ -1,0 +1,190 @@
+"""Tests for the shortest-path primitives, cross-checked against networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph import generators
+from repro.graph.core import Graph
+from repro.graph.convert import to_networkx
+from repro.graph.views import graph_minus
+from repro.paths.apsp import all_pairs_distances, all_pairs_hop_distances, average_distance, diameter
+from repro.paths.bfs import bfs_distances, bfs_path, eccentricity, hop_distance
+from repro.paths.dijkstra import (
+    bidirectional_distance,
+    bounded_distance,
+    bounded_path,
+    dijkstra_distances,
+    dijkstra_tree,
+    shortest_path,
+    shortest_path_distance,
+)
+
+
+class TestDijkstra:
+    def test_distances_on_weighted_path(self, weighted_path):
+        distances = dijkstra_distances(weighted_path, 0)
+        assert distances == {0: 0.0, 1: 1.0, 2: 3.0, 3: 6.0, 4: 10.0}
+
+    def test_missing_source_raises(self, weighted_path):
+        with pytest.raises(ValueError):
+            dijkstra_distances(weighted_path, 99)
+
+    def test_cutoff_prunes(self, weighted_path):
+        distances = dijkstra_distances(weighted_path, 0, cutoff=3.0)
+        assert set(distances) == {0, 1, 2}
+
+    def test_unreachable_omitted(self):
+        graph = Graph(edges=[(0, 1)])
+        graph.add_node(2)
+        assert 2 not in dijkstra_distances(graph, 0)
+
+    def test_tree_parents(self, weighted_path):
+        distances, parents = dijkstra_tree(weighted_path, 0)
+        assert parents[0] is None
+        assert parents[3] == 2
+        assert distances[3] == 6.0
+
+    def test_shortest_path_reconstruction(self, square_with_diagonal):
+        distance, path = shortest_path(square_with_diagonal, 1, 3)
+        assert distance == 2.0
+        assert path in ([1, 0, 3], [1, 2, 3])
+
+    def test_shortest_path_prefers_light_diagonal(self):
+        graph = Graph(edges=[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)])
+        distance, path = shortest_path(graph, 0, 2)
+        assert distance == 1.5
+        assert path == [0, 2]
+
+    def test_shortest_path_disconnected(self):
+        graph = Graph(edges=[(0, 1)])
+        graph.add_node(2)
+        distance, path = shortest_path(graph, 0, 2)
+        assert distance == math.inf and path == []
+
+    def test_shortest_path_same_node(self, triangle):
+        assert shortest_path(triangle, 1, 1) == (0.0, [1])
+
+    def test_shortest_path_distance_matches_networkx(self, small_weighted_random):
+        nx_graph = to_networkx(small_weighted_random)
+        for source in list(small_weighted_random.nodes())[:5]:
+            expected = nx.single_source_dijkstra_path_length(nx_graph, source)
+            ours = dijkstra_distances(small_weighted_random, source)
+            assert set(ours) == set(expected)
+            for node, value in expected.items():
+                assert ours[node] == pytest.approx(value)
+
+
+class TestBoundedQueries:
+    def test_bounded_distance_within_budget(self, weighted_path):
+        assert bounded_distance(weighted_path, 0, 2, budget=5.0) == 3.0
+
+    def test_bounded_distance_exceeds_budget(self, weighted_path):
+        assert bounded_distance(weighted_path, 0, 4, budget=5.0) == math.inf
+
+    def test_bounded_distance_exact_budget(self, weighted_path):
+        assert bounded_distance(weighted_path, 0, 2, budget=3.0) == 3.0
+
+    def test_bounded_distance_same_node(self, weighted_path):
+        assert bounded_distance(weighted_path, 2, 2, budget=0.0) == 0.0
+
+    def test_bounded_distance_missing_nodes(self, weighted_path):
+        assert bounded_distance(weighted_path, 0, 99, budget=10.0) == math.inf
+
+    def test_bounded_distance_on_view(self, square_with_diagonal):
+        view = graph_minus(square_with_diagonal, nodes=[0])
+        assert bounded_distance(view, 1, 3, budget=5.0) == 2.0
+
+    def test_bounded_path_returns_witness(self, square_with_diagonal):
+        distance, path = bounded_path(square_with_diagonal, 1, 3, budget=5.0)
+        assert distance == 2.0
+        assert path[0] == 1 and path[-1] == 3
+        assert len(path) == 3
+
+    def test_bounded_path_budget_exceeded(self, weighted_path):
+        distance, path = bounded_path(weighted_path, 0, 4, budget=2.0)
+        assert distance == math.inf and path == []
+
+    def test_bidirectional_matches_unidirectional(self, small_weighted_random):
+        nodes = list(small_weighted_random.nodes())
+        for source in nodes[:4]:
+            for target in nodes[-4:]:
+                expected = shortest_path_distance(small_weighted_random, source, target)
+                actual = bidirectional_distance(small_weighted_random, source, target)
+                assert actual == pytest.approx(expected)
+
+    def test_bidirectional_budget(self, weighted_path):
+        assert bidirectional_distance(weighted_path, 0, 4, budget=5.0) == math.inf
+        assert bidirectional_distance(weighted_path, 0, 2, budget=5.0) == pytest.approx(3.0)
+
+    def test_bidirectional_trivial_cases(self, weighted_path):
+        assert bidirectional_distance(weighted_path, 1, 1) == 0.0
+        assert bidirectional_distance(weighted_path, 0, 99) == math.inf
+
+
+class TestBFS:
+    def test_bfs_distances(self, square_with_diagonal):
+        distances = bfs_distances(square_with_diagonal, 0)
+        assert distances == {0: 0, 1: 1, 3: 1, 2: 1}
+
+    def test_bfs_distances_max_hops(self):
+        path = generators.path_graph(6)
+        distances = bfs_distances(path, 0, max_hops=2)
+        assert set(distances) == {0, 1, 2}
+
+    def test_bfs_missing_source(self, triangle):
+        with pytest.raises(ValueError):
+            bfs_distances(triangle, 9)
+
+    def test_hop_distance(self):
+        path = generators.path_graph(5)
+        assert hop_distance(path, 0, 4) == 4
+        assert hop_distance(path, 0, 4, max_hops=3) == math.inf
+        assert hop_distance(path, 2, 2) == 0.0
+
+    def test_hop_distance_ignores_weights(self, weighted_path):
+        assert hop_distance(weighted_path, 0, 4) == 4
+
+    def test_bfs_path(self):
+        path = generators.path_graph(5)
+        distance, nodes = bfs_path(path, 0, 3)
+        assert distance == 3
+        assert nodes == [0, 1, 2, 3]
+
+    def test_bfs_path_unreachable(self):
+        graph = Graph(edges=[(0, 1)])
+        graph.add_node(5)
+        assert bfs_path(graph, 0, 5) == (math.inf, [])
+
+    def test_eccentricity(self):
+        path = generators.path_graph(5)
+        assert eccentricity(path, 0) == 4
+        assert eccentricity(path, 2) == 2
+        assert eccentricity(Graph(nodes=[0]), 0) == 0.0
+
+
+class TestAllPairs:
+    def test_all_pairs_matches_single_source(self, small_weighted_random):
+        table = all_pairs_distances(small_weighted_random)
+        for source in small_weighted_random.nodes():
+            assert table[source] == dijkstra_distances(small_weighted_random, source)
+
+    def test_all_pairs_hop_distances(self, square_with_diagonal):
+        table = all_pairs_hop_distances(square_with_diagonal)
+        assert table[0][2] == 1.0
+        assert table[1][3] == 2.0
+
+    def test_diameter(self):
+        path = generators.path_graph(6)
+        assert diameter(path, unweighted=True) == 5.0
+
+    def test_diameter_weighted(self, weighted_path):
+        assert diameter(weighted_path) == 10.0
+
+    def test_diameter_trivial(self):
+        assert diameter(Graph(nodes=[0])) == 0.0
+
+    def test_average_distance(self, triangle):
+        assert average_distance(triangle) == pytest.approx(1.0)
+        assert average_distance(Graph(nodes=[0])) == 0.0

@@ -1,0 +1,206 @@
+"""Tests for the utility layer: RNG, timing, tables, logging."""
+
+import logging
+import time
+
+import pytest
+
+from repro.utils.logging import configure_cli_logging, get_logger
+from repro.utils.rng import RandomSource, derive_seed, ensure_rng
+from repro.utils.tables import Table, format_ascii_table, format_markdown_table, summarize_series
+from repro.utils.timing import Timer, time_call, timed
+
+
+class TestRandomSource:
+    def test_reproducible(self):
+        a, b = RandomSource(1), RandomSource(1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert RandomSource(1).random() != RandomSource(2).random()
+
+    def test_spawn_independent_streams(self):
+        parent = RandomSource(5)
+        child_a = parent.spawn("a")
+        child_b = parent.spawn("b")
+        assert child_a.seed != child_b.seed
+        # Same labels give the same stream regardless of draw order on the parent.
+        again = RandomSource(5).spawn("a")
+        assert child_a.seed == again.seed
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(3, "x", 1) == derive_seed(3, "x", 1)
+        assert derive_seed(3, "x", 1) != derive_seed(3, "x", 2)
+        assert derive_seed(3) >= 0
+
+    def test_bernoulli_extremes(self):
+        rng = RandomSource(0)
+        assert rng.bernoulli(1.0) is True
+        assert rng.bernoulli(0.0) is False
+
+    def test_subset(self):
+        rng = RandomSource(0)
+        assert rng.subset(range(10), 1.0) == list(range(10))
+        assert rng.subset(range(10), 0.0) == []
+
+    def test_weighted_choice(self):
+        rng = RandomSource(0)
+        assert rng.weighted_choice(["a"], [1.0]) == "a"
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a", "b"], [1.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice([], [])
+
+    def test_distinct_pairs(self):
+        rng = RandomSource(0)
+        pairs = rng.distinct_pairs(6, 10)
+        assert len(pairs) == 10
+        assert len(set(pairs)) == 10
+        assert all(u < v for u, v in pairs)
+
+    def test_distinct_pairs_exhaustive_branch(self):
+        rng = RandomSource(0)
+        pairs = rng.distinct_pairs(4, 6)
+        assert len(pairs) == 6
+
+    def test_distinct_pairs_too_many(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).distinct_pairs(3, 5)
+
+    def test_primitive_draws(self):
+        rng = RandomSource(0)
+        assert 0 <= rng.randint(0, 5) <= 5
+        assert 1.0 <= rng.uniform(1.0, 2.0) <= 2.0
+        assert rng.choice([7]) == 7
+        assert rng.getrandbits(8) < 256
+        data = [1, 2, 3]
+        rng.shuffle(data)
+        assert sorted(data) == [1, 2, 3]
+        assert len(rng.sample(range(10), 3)) == 3
+        rng.gauss()
+
+
+class TestEnsureRng:
+    def test_accepts_none_int_and_source(self):
+        assert isinstance(ensure_rng(None), RandomSource)
+        assert isinstance(ensure_rng(9), RandomSource)
+        source = RandomSource(1)
+        assert ensure_rng(source) is source
+
+    def test_accepts_stdlib_random(self):
+        import random
+        wrapped = ensure_rng(random.Random(3))
+        assert isinstance(wrapped, RandomSource)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        timer = Timer("t")
+        with timer.measure():
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+        assert len(timer.laps) == 1
+
+    def test_double_start_raises(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_accumulates_over_laps(self):
+        timer = Timer()
+        for _ in range(3):
+            timer.start()
+            timer.stop()
+        assert len(timer.laps) == 3
+        assert timer.elapsed == pytest.approx(sum(timer.laps))
+
+    def test_timed_context_manager(self):
+        with timed("block") as timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= 0.002
+        assert not timer.running
+
+    def test_time_call(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0.0
+
+
+class TestTables:
+    def _table(self):
+        table = Table(columns=["name", "value", "flag"], title="demo")
+        table.add_row(name="a", value=1.23456, flag=True)
+        table.add_row({"name": "b", "value": 2}, flag=False)
+        table.add_row(name="c", value=None, flag=True)
+        return table
+
+    def test_add_row_rejects_unknown_columns(self):
+        table = Table(columns=["a"])
+        with pytest.raises(KeyError):
+            table.add_row(b=1)
+
+    def test_column_access(self):
+        table = self._table()
+        assert table.column("name") == ["a", "b", "c"]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_sort_by(self):
+        table = Table(columns=["x"])
+        for value in (3, 1, 2):
+            table.add_row(x=value)
+        assert table.sort_by("x").column("x") == [1, 2, 3]
+
+    def test_ascii_rendering(self):
+        text = self._table().to_ascii()
+        assert "demo" in text
+        assert "name" in text and "1.235" in text
+        assert "-" in text  # None renders as dash
+
+    def test_markdown_rendering(self):
+        text = self._table().to_markdown()
+        assert text.count("|") > 6
+        assert "### demo" in text
+
+    def test_csv_rendering(self):
+        text = self._table().to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,value,flag"
+        assert len(lines) == 4
+
+    def test_len_and_str(self):
+        table = self._table()
+        assert len(table) == 3
+        assert str(table) == table.to_ascii()
+
+    def test_format_helpers_empty_input(self):
+        assert format_ascii_table([], title="t") == "t"
+        assert format_markdown_table([]) == ""
+
+    def test_summarize_series(self):
+        summary = summarize_series([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summarize_series([])["count"] == 0
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("spanners").name == "repro.spanners"
+        assert get_logger("repro.graph").name == "repro.graph"
+
+    def test_configure_cli_logging_idempotent(self):
+        configure_cli_logging(verbose=True)
+        configure_cli_logging(verbose=False)
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+        assert root.level == logging.INFO
