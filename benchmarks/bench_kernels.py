@@ -5,12 +5,28 @@ performance determines every experiment's wall clock: bounded Dijkstra,
 the branch-and-bound fault check, a full FT greedy construction, blocking-set
 extraction + Lemma 4 sampling, and girth computation.  Useful for spotting
 performance regressions when the library is modified.
+
+The ``csr-vs-dict`` group pits the CSR kernels (:mod:`repro.paths.kernels`,
+fault masks) against the dict-based reference path (``ExclusionView`` + the
+view fallback in :mod:`repro.paths.dijkstra`) on bounded Dijkstra queries
+under vertex fault masks — the exact shape of the fault-check oracle's inner
+loop.  Running this file as a script records the comparison (and the measured
+speedup) in ``BENCH_kernels.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
 """
+
+import json
+import pathlib
+import time
 
 import pytest
 
 from repro.graph import generators
+from repro.graph.csr import csr_snapshot
+from repro.graph.views import ExclusionView
 from repro.paths.dijkstra import bounded_distance
+from repro.paths.kernels import bounded_dijkstra_csr
 from repro.spanners.blocking import extract_blocking_set, lemma4_subsample
 from repro.spanners.fault_check import BranchAndBoundOracle
 from repro.spanners.ft_greedy import ft_greedy_spanner
@@ -86,3 +102,100 @@ def test_girth_computation(benchmark, kernel_graph):
     spanner = greedy_spanner(kernel_graph, 3).spanner
     value = benchmark(lambda: girth(spanner, cutoff=6))
     assert value > 4
+
+
+# ---------------------------------------------------------------------------
+# CSR kernels vs the dict/view reference path
+# ---------------------------------------------------------------------------
+
+def _masked_query_case(n: int, m: int, *, num_pairs: int = 25, num_faults: int = 4,
+                       budget: float = 25.0):
+    """A masked bounded-Dijkstra workload shaped like the oracle hot loop."""
+    graph = generators.gnm(n, m, rng=99, connected=True, weighted=True)
+    nodes = list(graph.nodes())
+    pairs = [(nodes[i], nodes[-1 - i]) for i in range(num_pairs)]
+    faults = [nodes[(7 * i) % n] for i in range(num_faults)]
+    return graph, pairs, faults, budget
+
+
+def _run_view(graph, pairs, faults, budget):
+    # A fresh view per query, as the oracles built one per candidate fault set.
+    return [
+        bounded_distance(ExclusionView(graph, excluded_nodes=faults), u, v, budget)
+        for u, v in pairs
+    ]
+
+
+def _run_csr(graph, pairs, faults, budget):
+    csr = csr_snapshot(graph)
+    vmask = csr.vertex_fault_mask(faults)
+    index_of = csr.index_of
+    return [
+        bounded_dijkstra_csr(csr, index_of[u], index_of[v], budget, vmask)
+        for u, v in pairs
+    ]
+
+
+@pytest.fixture(scope="module")
+def masked_case():
+    return _masked_query_case(600, 4800)
+
+
+@pytest.mark.benchmark(group="csr-vs-dict")
+def test_bounded_dijkstra_masked_dict_view(benchmark, masked_case):
+    graph, pairs, faults, budget = masked_case
+    results = benchmark(lambda: _run_view(graph, pairs, faults, budget))
+    assert len(results) == len(pairs)
+
+
+@pytest.mark.benchmark(group="csr-vs-dict")
+def test_bounded_dijkstra_masked_csr_kernel(benchmark, masked_case):
+    graph, pairs, faults, budget = masked_case
+    expected = _run_view(graph, pairs, faults, budget)
+    results = benchmark(lambda: _run_csr(graph, pairs, faults, budget))
+    assert results == expected  # masks must replicate the view semantics
+
+
+# ---------------------------------------------------------------------------
+# Script mode: record the CSR-vs-dict comparison in BENCH_kernels.json
+# ---------------------------------------------------------------------------
+
+def _time_best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def record_csr_vs_dict(path: "pathlib.Path | str" = None) -> dict:
+    """Measure kernels against the dict/view path and write BENCH_kernels.json."""
+    if path is None:
+        path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    report = {"benchmark": "bounded Dijkstra under vertex fault masks",
+              "reference": "ExclusionView + dict-based bounded_distance",
+              "kernel": "bounded_dijkstra_csr over cached CSR snapshot",
+              "cases": []}
+    for n, m in ((500, 4000), (1000, 8000)):
+        graph, pairs, faults, budget = _masked_query_case(n, m)
+        assert _run_view(graph, pairs, faults, budget) == \
+            _run_csr(graph, pairs, faults, budget)
+        view_s = _time_best_of(lambda: _run_view(graph, pairs, faults, budget))
+        csr_s = _time_best_of(lambda: _run_csr(graph, pairs, faults, budget))
+        report["cases"].append({
+            "n": n, "m": m, "queries": len(pairs), "faults": len(faults),
+            "budget": budget,
+            "dict_view_ms": round(view_s * 1e3, 3),
+            "csr_kernel_ms": round(csr_s * 1e3, 3),
+            "speedup": round(view_s / csr_s, 2),
+        })
+    pathlib.Path(path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    outcome = record_csr_vs_dict()
+    for case in outcome["cases"]:
+        print(f"n={case['n']} m={case['m']}: dict/view {case['dict_view_ms']}ms "
+              f"csr kernel {case['csr_kernel_ms']}ms -> {case['speedup']}x")

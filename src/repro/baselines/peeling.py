@@ -21,6 +21,11 @@ Size
 At most ``(f + 1)`` times the greedy spanner bound — ``O((f+1) · n^{1+1/k})``
 for stretch ``2k − 1`` — versus the FT greedy's ``O(f^{1−1/k} · n^{1+1/k})``;
 experiment E3/E7 measures the gap.
+
+All distance sweeps run inside :func:`~repro.spanners.greedy.greedy_spanner`,
+whose queries go through the per-graph CSR snapshot cache
+(:mod:`repro.graph.csr`) and the array-native kernels — each peeled layer
+maintains its own incremental snapshot of the growing spanner.
 """
 
 from __future__ import annotations

@@ -30,6 +30,10 @@ Size
 ----
 ``O(J · n^{1+1/k})`` for stretch ``2k − 1`` — exponential in ``f`` — versus
 the FT greedy's ``O(f^{1−1/k} n^{1+1/k})``.  Experiment E3 measures the gap.
+
+Every per-sample greedy construction routes its distance queries through the
+CSR snapshot cache (:mod:`repro.graph.csr`); with hundreds to thousands of
+samples this is the baseline that leans hardest on the kernel layer.
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ A :class:`FaultModel` knows how to
 * list the elements of a graph that are allowed to fail for a given
   source/target pair (vertices other than the endpoints, or edges);
 * build the surviving view ``G \\ F`` for a concrete fault set ``F``;
+* translate fault sets into the dense *mask indices* consumed by the CSR
+  kernels (:mod:`repro.paths.kernels`), which is how the hot path applies
+  ``G \\ F`` without constructing a view;
 * canonicalise fault sets (so they can be hashed, compared, and reported).
 
 Everything downstream — the FT greedy algorithm, the verification code, the
@@ -31,6 +34,12 @@ class FaultModel(ABC):
     #: Short machine-readable name ("vertex" or "edge"), used in metadata and CLI.
     name: str = "abstract"
 
+    #: Which kernel mask this model's :meth:`mask_indices` indices belong to:
+    #: ``True`` → the ``vertex_mask`` (node indices), ``False`` → the
+    #: ``edge_mask`` (undirected edge ids).  The CSR fast paths key on this,
+    #: not on :attr:`name`, so subclasses with new names stay correct.
+    uses_vertex_mask: bool = True
+
     @abstractmethod
     def candidate_elements(self, graph, source: Node, target: Node) -> List[FaultElement]:
         """Elements allowed to fail when protecting the pair ``(source, target)``.
@@ -47,6 +56,29 @@ class FaultModel(ABC):
     @abstractmethod
     def apply(self, graph, faults: Iterable[FaultElement]) -> ExclusionView:
         """The surviving graph ``graph \\ faults`` as a cheap view."""
+
+    @abstractmethod
+    def mask_indices(self, csr, faults: Iterable[FaultElement]) -> List[int]:
+        """Dense mask indices of ``faults`` in a CSR snapshot.
+
+        Vertex faults map to node indices (for the kernel ``vertex_mask``),
+        edge faults to undirected edge ids (for the ``edge_mask``).  Elements
+        absent from the snapshot are silently dropped — masking a vertex or
+        edge that is not there is a no-op, exactly like excluding it from an
+        :class:`ExclusionView`.
+        """
+
+    def new_mask(self, csr) -> bytearray:
+        """A cleared fault mask sized for this model over ``csr``."""
+        if self.uses_vertex_mask:
+            return bytearray(csr.num_nodes)
+        return bytearray(csr.num_edges)
+
+    def kernel_masks(self, mask: bytearray) -> "Tuple[Optional[bytearray], Optional[bytearray]]":
+        """Split one model mask into the kernels' ``(vertex_mask, edge_mask)`` pair."""
+        if self.uses_vertex_mask:
+            return mask, None
+        return None, mask
 
     @abstractmethod
     def canonical(self, faults: Iterable[FaultElement]) -> FaultSet:
@@ -74,6 +106,7 @@ class VertexFaultModel(FaultModel):
     """Up to ``f`` vertices fail (the VFT setting, where the result is optimal)."""
 
     name = "vertex"
+    uses_vertex_mask = True
 
     def candidate_elements(self, graph, source: Node, target: Node) -> List[Node]:
         return [node for node in graph.nodes() if node != source and node != target]
@@ -83,6 +116,10 @@ class VertexFaultModel(FaultModel):
 
     def apply(self, graph, faults: Iterable[Node]) -> ExclusionView:
         return graph_minus(graph, nodes=faults)
+
+    def mask_indices(self, csr, faults: Iterable[Node]) -> List[int]:
+        index_of = csr.index_of
+        return [index_of[node] for node in faults if node in index_of]
 
     def canonical(self, faults: Iterable[Node]) -> FaultSet:
         return frozenset(faults)
@@ -98,6 +135,7 @@ class EdgeFaultModel(FaultModel):
     """Up to ``f`` edges fail (the EFT setting)."""
 
     name = "edge"
+    uses_vertex_mask = False
 
     def candidate_elements(self, graph, source: Node, target: Node) -> List[Tuple[Node, Node]]:
         # Every edge may fail.  The edge (source, target) itself is listed too:
@@ -111,6 +149,14 @@ class EdgeFaultModel(FaultModel):
 
     def apply(self, graph, faults: Iterable[Tuple[Node, Node]]) -> ExclusionView:
         return graph_minus(graph, edges=faults)
+
+    def mask_indices(self, csr, faults: Iterable[Tuple[Node, Node]]) -> List[int]:
+        out: List[int] = []
+        for u, v in faults:
+            eid = csr.edge_id(u, v)
+            if eid is not None:
+                out.append(eid)
+        return out
 
     def canonical(self, faults: Iterable[Tuple[Node, Node]]) -> FaultSet:
         return frozenset(edge_key(u, v) for u, v in faults)

@@ -15,6 +15,7 @@ who already have networkx graphs.
 """
 
 from repro.graph.core import Graph, GraphError
+from repro.graph.csr import CSRGraph, csr_snapshot
 from repro.graph.views import ExclusionView, induced_subgraph, graph_minus
 from repro.graph.components import connected_components, is_connected, UnionFind
 from repro.graph.girth import girth, has_cycle_at_most, shortest_cycle_through_edge
@@ -33,6 +34,8 @@ from repro.graph import generators
 __all__ = [
     "Graph",
     "GraphError",
+    "CSRGraph",
+    "csr_snapshot",
     "ExclusionView",
     "induced_subgraph",
     "graph_minus",

@@ -60,7 +60,7 @@ class Graph:
     2.5
     """
 
-    __slots__ = ("_adj", "name", "metadata")
+    __slots__ = ("_adj", "name", "metadata", "_version", "_csr_cache")
 
     def __init__(
         self,
@@ -72,6 +72,12 @@ class Graph:
         self.name = name
         #: Free-form dictionary for generator parameters, experiment tags, etc.
         self.metadata: dict[str, Any] = {}
+        #: Monotone mutation counter: bumped on every structural change so
+        #: compiled snapshots (:mod:`repro.graph.csr`) can invalidate without
+        #: hashing edge sets.
+        self._version: int = 0
+        #: Cached compiled CSR snapshot (managed by :func:`repro.graph.csr.csr_snapshot`).
+        self._csr_cache: Optional[Any] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -84,11 +90,28 @@ class Graph:
                 else:
                     raise GraphError(f"edge tuples must have 2 or 3 entries, got {edge!r}")
 
+    # ---------------------------------------------------------------- version
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every structural mutation.
+
+        Snapshot caches (e.g. the compiled CSR form used by the hot-path
+        distance kernels) key on this value: ``version`` unchanged means the
+        node and edge structure is byte-for-byte identical to when the
+        snapshot was compiled.
+        """
+        return self._version
+
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: Node) -> None:
         """Add ``node`` if not already present (idempotent)."""
         if node not in self._adj:
             self._adj[node] = {}
+            self._version += 1
+            cache = self._csr_cache
+            if cache is not None:
+                cache.intern(node)
+                cache.graph_version = self._version
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         """Add every node in ``nodes``."""
@@ -105,6 +128,8 @@ class Graph:
         for neighbor in list(self._adj[node]):
             del self._adj[neighbor][node]
         del self._adj[node]
+        self._version += 1
+        self._csr_cache = None
 
     def has_node(self, node: Node) -> bool:
         """Whether ``node`` is in the graph."""
@@ -133,8 +158,19 @@ class Graph:
             raise GraphError(f"edge weight must be positive and finite, got {weight!r}")
         self.add_node(u)
         self.add_node(v)
+        overwrite = v in self._adj[u]
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._version += 1
+        cache = self._csr_cache
+        if cache is not None:
+            if overwrite:
+                # Weight overwrites would require an in-place CSR patch; they
+                # are rare (never on the greedy hot path), so just recompile.
+                self._csr_cache = None
+            else:
+                cache.append_edge(u, v, weight)
+                cache.graph_version = self._version
 
     def add_edges(self, edges: Iterable[Tuple]) -> None:
         """Add every edge in ``edges`` (2- or 3-tuples)."""
@@ -150,6 +186,8 @@ class Graph:
             raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
         del self._adj[u][v]
         del self._adj[v][u]
+        self._version += 1
+        self._csr_cache = None
 
     def has_edge(self, u: Node, v: Node) -> bool:
         """Whether the edge ``{u, v}`` exists."""

@@ -1,0 +1,280 @@
+"""Compiled CSR snapshots of :class:`~repro.graph.core.Graph`.
+
+The dict-of-dict :class:`Graph` is the mutable, user-facing representation;
+every *hot-path* distance query instead runs on a :class:`CSRGraph` — an
+immutable-ish compiled form with
+
+* a node ↔ index interner (``index_of`` / ``node_of``), so kernels work on
+  dense ints instead of hashable node objects;
+* ``indptr`` / ``indices`` / ``weights`` arrays (``array`` module) holding the
+  adjacency in CSR layout, in the exact per-node insertion order of the source
+  graph (this is what keeps kernel-produced spanners byte-identical to the
+  reference dict implementation);
+* per-arc ``edge_ids`` mapping each directed arc to its undirected edge id,
+  so *edge fault masks* can hide an edge in O(1) without building a view;
+* cheap incremental edge append: the growing greedy spanner ``H`` gains one
+  edge at a time between thousands of queries, so appends land in a small
+  per-node overflow (``_extra``) that kernels traverse after the compact
+  slice, and the arrays are re-compacted geometrically.
+
+Snapshots are cached on the graph itself (``Graph._csr_cache``) keyed on
+:attr:`Graph.version`; :func:`csr_snapshot` is the only entry point.  The
+mutators of :class:`Graph` keep a live snapshot in sync on ``add_node`` /
+``add_edge`` and drop it on removals or weight overwrites.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.core import Graph, Node
+
+#: Recompact when the overflow holds more than 1/8 of the compact arcs.
+_COMPACT_RATIO = 8
+#: ... but never bother below this many overflow arcs.
+_COMPACT_MIN = 64
+
+
+class CSRGraph:
+    """A compiled, int-indexed snapshot of a weighted undirected graph.
+
+    Not constructed directly in normal use — call :func:`csr_snapshot` (or
+    :meth:`from_graph`).  All attributes are public because the kernels in
+    :mod:`repro.paths.kernels` read them in tight loops.
+    """
+
+    __slots__ = (
+        "index_of",      # node -> dense index
+        "node_of",       # dense index -> node
+        "indptr",        # array('q'), len n + 1
+        "indices",       # array('q'), neighbor index per arc
+        "weights",       # array('d'), weight per arc
+        "edge_ids",      # array('q'), undirected edge id per arc
+        "edge_index",    # (min_idx, max_idx) -> edge id
+        "_indptr_l",     # list mirrors of the arrays for the kernels:
+        "_indices_l",    # indexing a list returns the stored object, while
+        "_weights_l",    # indexing an array boxes a fresh int/float on every
+        "_edge_ids_l",   # access — measurably slower in the inner loops.
+        "_extra",        # overflow: node index -> list of (v, w, eid) arcs
+        "_extra_count",  # number of overflow arcs
+        "graph_version", # Graph.version this snapshot corresponds to
+    )
+
+    def __init__(self) -> None:
+        self.index_of: Dict[Node, int] = {}
+        self.node_of: List[Node] = []
+        self.indptr = array("q", [0])
+        self.indices = array("q")
+        self.weights = array("d")
+        self.edge_ids = array("q")
+        self.edge_index: Dict[Tuple[int, int], int] = {}
+        self._indptr_l: List[int] = [0]
+        self._indices_l: List[int] = []
+        self._weights_l: List[float] = []
+        self._edge_ids_l: List[int] = []
+        self._extra: Dict[int, List[Tuple[int, float, int]]] = {}
+        self._extra_count = 0
+        self.graph_version = -1
+
+    # ------------------------------------------------------------- building
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Compile ``graph`` into CSR form (nodes/arcs in insertion order)."""
+        snap = cls()
+        index_of = snap.index_of
+        node_of = snap.node_of
+        for node in graph.nodes():
+            index_of[node] = len(node_of)
+            node_of.append(node)
+        edge_index = snap.edge_index
+        for u, v, _ in graph.edges():
+            a, b = index_of[u], index_of[v]
+            if a > b:
+                a, b = b, a
+            edge_index[(a, b)] = len(edge_index)
+        indptr = snap.indptr
+        indices = snap.indices
+        weights = snap.weights
+        edge_ids = snap.edge_ids
+        position = 0
+        for u in node_of:
+            ui = index_of[u]
+            for v, w in graph.adjacency(u).items():
+                vi = index_of[v]
+                indices.append(vi)
+                weights.append(w)
+                edge_ids.append(edge_index[(ui, vi) if ui < vi else (vi, ui)])
+                position += 1
+            indptr.append(position)
+        snap._refresh_mirrors()
+        return snap
+
+    def _refresh_mirrors(self) -> None:
+        """Rebuild the kernel-facing list mirrors of the CSR arrays."""
+        self._indptr_l = self.indptr.tolist()
+        self._indices_l = self.indices.tolist()
+        self._weights_l = self.weights.tolist()
+        self._edge_ids_l = self.edge_ids.tolist()
+
+    def intern(self, node: Node) -> int:
+        """Index of ``node``, adding it (with an empty adjacency) if new."""
+        index = self.index_of.get(node)
+        if index is None:
+            index = len(self.node_of)
+            self.index_of[node] = index
+            self.node_of.append(node)
+            # Duplicate the running prefix sum: the new node owns an empty
+            # compact slice, so kernels can index indptr[u+1] safely.
+            self.indptr.append(self.indptr[-1])
+            self._indptr_l.append(self._indptr_l[-1])
+        return index
+
+    def append_edge(self, u: Node, v: Node, weight: float) -> int:
+        """Append the (new) undirected edge ``{u, v}``; returns its edge id.
+
+        The arcs land in the per-node overflow and are folded into the
+        compact arrays once the overflow exceeds ``1/8`` of the compact part
+        (geometric, so total recompaction work is O(m log m)).
+        """
+        ui = self.intern(u)
+        vi = self.intern(v)
+        key = (ui, vi) if ui < vi else (vi, ui)
+        eid = len(self.edge_index)
+        self.edge_index[key] = eid
+        extra = self._extra
+        bucket = extra.get(ui)
+        if bucket is None:
+            extra[ui] = [(vi, weight, eid)]
+        else:
+            bucket.append((vi, weight, eid))
+        bucket = extra.get(vi)
+        if bucket is None:
+            extra[vi] = [(ui, weight, eid)]
+        else:
+            bucket.append((ui, weight, eid))
+        self._extra_count += 2
+        if (self._extra_count >= _COMPACT_MIN
+                and self._extra_count * _COMPACT_RATIO >= len(self.indices)):
+            self.compact()
+        return eid
+
+    def compact(self) -> None:
+        """Fold the overflow arcs into fresh ``indptr``/``indices``/... arrays."""
+        if not self._extra_count:
+            return
+        old_indptr = self.indptr
+        old_indices = self.indices
+        old_weights = self.weights
+        old_edge_ids = self.edge_ids
+        extra = self._extra
+        indptr = array("q", [0])
+        indices = array("q")
+        weights = array("d")
+        edge_ids = array("q")
+        position = 0
+        for u in range(len(self.node_of)):
+            start, end = old_indptr[u], old_indptr[u + 1]
+            if end > start:
+                indices.extend(old_indices[start:end])
+                weights.extend(old_weights[start:end])
+                edge_ids.extend(old_edge_ids[start:end])
+                position += end - start
+            bucket = extra.get(u)
+            if bucket:
+                for v, w, eid in bucket:
+                    indices.append(v)
+                    weights.append(w)
+                    edge_ids.append(eid)
+                position += len(bucket)
+            indptr.append(position)
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.edge_ids = edge_ids
+        self._refresh_mirrors()
+        self._extra = {}
+        self._extra_count = 0
+
+    # -------------------------------------------------------------- queries
+    @property
+    def num_nodes(self) -> int:
+        """Number of interned nodes."""
+        return len(self.node_of)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (== the edge-id space for masks)."""
+        return len(self.edge_index)
+
+    def edge_id(self, u: Node, v: Node) -> Optional[int]:
+        """Undirected edge id of ``{u, v}``, or ``None`` if absent."""
+        ui = self.index_of.get(u)
+        vi = self.index_of.get(v)
+        if ui is None or vi is None:
+            return None
+        return self.edge_index.get((ui, vi) if ui < vi else (vi, ui))
+
+    def degree(self, index: int) -> int:
+        """Degree of the node with dense ``index``."""
+        count = self.indptr[index + 1] - self.indptr[index]
+        bucket = self._extra.get(index)
+        return count + (len(bucket) if bucket else 0)
+
+    def arcs(self, index: int):
+        """Iterate ``(neighbor_index, weight, edge_id)`` arcs of one node.
+
+        Convenience/debugging accessor; the kernels inline this loop.
+        """
+        indptr = self.indptr
+        indices = self.indices
+        weights = self.weights
+        edge_ids = self.edge_ids
+        for t in range(indptr[index], indptr[index + 1]):
+            yield indices[t], weights[t], edge_ids[t]
+        bucket = self._extra.get(index)
+        if bucket:
+            for arc in bucket:
+                yield arc
+
+    # ---------------------------------------------------------------- masks
+    def vertex_fault_mask(self, nodes: Iterable[Node]) -> bytearray:
+        """Bytearray mask over node indices; unknown nodes are ignored."""
+        mask = bytearray(len(self.node_of))
+        index_of = self.index_of
+        for node in nodes:
+            index = index_of.get(node)
+            if index is not None:
+                mask[index] = 1
+        return mask
+
+    def edge_fault_mask(self, edges: Iterable[Tuple[Node, Node]]) -> bytearray:
+        """Bytearray mask over edge ids; edges absent from the snapshot are ignored."""
+        mask = bytearray(len(self.edge_index))
+        for u, v in edges:
+            eid = self.edge_id(u, v)
+            if eid is not None:
+                mask[eid] = 1
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CSRGraph n={len(self.node_of)} m={len(self.edge_index)} "
+            f"overflow={self._extra_count} v={self.graph_version}>"
+        )
+
+
+def csr_snapshot(graph: Graph) -> CSRGraph:
+    """The compiled CSR snapshot of ``graph``, cached on :attr:`Graph.version`.
+
+    Compiling is O(n + m); a cache hit is two attribute reads.  The snapshot
+    stays valid across ``add_node``/``add_edge`` (the graph appends into it
+    incrementally) and is recompiled after removals or weight overwrites.
+    """
+    cache = graph._csr_cache
+    if cache is not None and cache.graph_version == graph.version:
+        return cache
+    snap = CSRGraph.from_graph(graph)
+    snap.graph_version = graph.version
+    graph._csr_cache = snap
+    return snap

@@ -5,6 +5,11 @@ queries that stop early once a budget is exceeded (the hot path of the greedy
 algorithms), bidirectional search, unweighted BFS, and all-pairs helpers.
 All functions accept either a :class:`repro.graph.Graph` or an
 :class:`repro.graph.ExclusionView` (``H \\ F``).
+
+Plain :class:`Graph` inputs are executed by the array-native CSR kernels in
+:mod:`repro.paths.kernels` (compiled snapshots cached per graph version); the
+``*_csr`` functions re-exported here are the raw kernels for callers that
+manage their own snapshots and fault masks.
 """
 
 from repro.paths.dijkstra import (
@@ -17,6 +22,13 @@ from repro.paths.dijkstra import (
 )
 from repro.paths.bfs import bfs_distances, bfs_path, hop_distance, eccentricity
 from repro.paths.apsp import all_pairs_distances, all_pairs_hop_distances, diameter
+from repro.paths.kernels import (
+    bounded_dijkstra_csr,
+    bounded_dijkstra_path_csr,
+    sssp_dijkstra_csr,
+    bfs_distances_csr,
+    bounded_bfs_csr,
+)
 
 __all__ = [
     "dijkstra_distances",
@@ -32,4 +44,9 @@ __all__ = [
     "all_pairs_distances",
     "all_pairs_hop_distances",
     "diameter",
+    "bounded_dijkstra_csr",
+    "bounded_dijkstra_path_csr",
+    "sssp_dijkstra_csr",
+    "bfs_distances_csr",
+    "bounded_bfs_csr",
 ]

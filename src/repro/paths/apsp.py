@@ -10,8 +10,11 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Optional
 
+from repro.graph.core import Graph
+from repro.graph.csr import csr_snapshot
 from repro.paths.bfs import bfs_distances
 from repro.paths.dijkstra import dijkstra_distances
+from repro.paths.kernels import bfs_distances_csr, sssp_dijkstra_csr
 
 Node = Hashable
 
@@ -22,8 +25,22 @@ def all_pairs_distances(graph, *, unweighted: bool = False,
 
     Pairs separated by more than ``cutoff`` (or disconnected) are simply
     absent from the inner dictionaries, matching the single-source functions.
+    Plain :class:`Graph` inputs compile one CSR snapshot and sweep the
+    array-native kernels over every source.
     """
     result: Dict[Node, Dict[Node, float]] = {}
+    if isinstance(graph, Graph):
+        csr = csr_snapshot(graph)
+        node_of = csr.node_of
+        max_hops = None if cutoff is None else int(cutoff)
+        for source_index, source in enumerate(node_of):
+            if unweighted:
+                dist, order = bfs_distances_csr(csr, source_index, max_hops)
+                result[source] = {node_of[i]: float(dist[i]) for i in order}
+            else:
+                dist, order = sssp_dijkstra_csr(csr, source_index, cutoff)
+                result[source] = {node_of[i]: dist[i] for i in order}
+        return result
     for source in graph.nodes():
         if unweighted:
             max_hops = None if cutoff is None else int(cutoff)

@@ -4,6 +4,11 @@ Hop distances show up wherever the paper talks about cycles "on at most k
 edges" (blocking sets, girth) and wherever a workload is unweighted — in the
 unit-weight case BFS is both the faster and the exact choice, and the spanner
 code automatically routes distance queries here when the graph is unweighted.
+
+All three public queries share one frontier loop (:func:`_bfs_core`) with an
+optional early-exit target and optional parent recording; plain
+:class:`~repro.graph.core.Graph` inputs are dispatched to the array-native
+kernels in :mod:`repro.paths.kernels` over a cached CSR snapshot.
 """
 
 from __future__ import annotations
@@ -12,14 +17,24 @@ import math
 from collections import deque
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.graph.core import Graph
+from repro.graph.csr import csr_snapshot
+from repro.paths.kernels import bfs_distances_csr, bounded_bfs_csr
+
 Node = Hashable
 
 
-def bfs_distances(graph, source: Node,
-                  max_hops: Optional[int] = None) -> Dict[Node, int]:
-    """Hop distances from ``source`` to every node within ``max_hops``."""
-    if not graph.has_node(source):
-        raise ValueError(f"source {source!r} not in graph")
+def _bfs_core(graph, source: Node, max_hops: Optional[int] = None,
+              target: Optional[Node] = None,
+              parents: Optional[Dict[Node, Node]] = None
+              ) -> Tuple[Dict[Node, int], Optional[int]]:
+    """The shared BFS frontier loop.
+
+    Expands hop layers from ``source`` up to ``max_hops``, optionally
+    recording ``parents`` and early-exiting the moment ``target`` is
+    discovered.  Returns ``(distances, target_distance)`` where
+    ``target_distance`` is ``None`` unless the early exit fired.
+    """
     distances: Dict[Node, int] = {source: 0}
     queue: deque[Node] = deque([source])
     while queue:
@@ -28,9 +43,28 @@ def bfs_distances(graph, source: Node,
         if max_hops is not None and next_dist > max_hops:
             continue
         for neighbor in graph.neighbors(node):
-            if neighbor not in distances:
-                distances[neighbor] = next_dist
-                queue.append(neighbor)
+            if neighbor in distances:
+                continue
+            distances[neighbor] = next_dist
+            if parents is not None:
+                parents[neighbor] = node
+            if neighbor == target:
+                return distances, next_dist
+            queue.append(neighbor)
+    return distances, None
+
+
+def bfs_distances(graph, source: Node,
+                  max_hops: Optional[int] = None) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every node within ``max_hops``."""
+    if not graph.has_node(source):
+        raise ValueError(f"source {source!r} not in graph")
+    if isinstance(graph, Graph):
+        csr = csr_snapshot(graph)
+        dist, order = bfs_distances_csr(csr, csr.index_of[source], max_hops)
+        node_of = csr.node_of
+        return {node_of[index]: dist[index] for index in order}
+    distances, _ = _bfs_core(graph, source, max_hops)
     return distances
 
 
@@ -41,21 +75,11 @@ def hop_distance(graph, source: Node, target: Node,
         return math.inf
     if source == target:
         return 0.0
-    distances: Dict[Node, int] = {source: 0}
-    queue: deque[Node] = deque([source])
-    while queue:
-        node = queue.popleft()
-        next_dist = distances[node] + 1
-        if max_hops is not None and next_dist > max_hops:
-            continue
-        for neighbor in graph.neighbors(node):
-            if neighbor in distances:
-                continue
-            if neighbor == target:
-                return float(next_dist)
-            distances[neighbor] = next_dist
-            queue.append(neighbor)
-    return math.inf
+    if isinstance(graph, Graph):
+        csr = csr_snapshot(graph)
+        return bounded_bfs_csr(csr, csr.index_of[source], csr.index_of[target], max_hops)
+    _, found = _bfs_core(graph, source, max_hops, target=target)
+    return float(found) if found is not None else math.inf
 
 
 def bfs_path(graph, source: Node, target: Node,
@@ -66,26 +90,14 @@ def bfs_path(graph, source: Node, target: Node,
     if source == target:
         return 0.0, [source]
     parents: Dict[Node, Node] = {}
-    distances: Dict[Node, int] = {source: 0}
-    queue: deque[Node] = deque([source])
-    while queue:
-        node = queue.popleft()
-        next_dist = distances[node] + 1
-        if max_hops is not None and next_dist > max_hops:
-            continue
-        for neighbor in graph.neighbors(node):
-            if neighbor in distances:
-                continue
-            distances[neighbor] = next_dist
-            parents[neighbor] = node
-            if neighbor == target:
-                path: List[Node] = [target]
-                while path[-1] != source:
-                    path.append(parents[path[-1]])
-                path.reverse()
-                return float(next_dist), path
-            queue.append(neighbor)
-    return math.inf, []
+    _, found = _bfs_core(graph, source, max_hops, target=target, parents=parents)
+    if found is None:
+        return math.inf, []
+    path: List[Node] = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return float(found), path
 
 
 def eccentricity(graph, node: Node) -> float:

@@ -8,7 +8,11 @@ every oracle in :mod:`repro.spanners.fault_check` calls.
 
 All functions take a graph-like object exposing ``nodes()``, ``neighbors()``,
 ``adjacency()`` and ``has_node()`` — i.e. either :class:`repro.graph.Graph`
-or :class:`repro.graph.ExclusionView`.
+or :class:`repro.graph.ExclusionView`.  Plain :class:`Graph` inputs are
+dispatched to the array-native kernels in :mod:`repro.paths.kernels` over a
+compiled CSR snapshot (cached per graph, keyed on :attr:`Graph.version`);
+views and other duck-typed graphs fall back to the dict-based reference
+implementations below, which the kernels mirror result-for-result.
 """
 
 from __future__ import annotations
@@ -17,6 +21,14 @@ import math
 from heapq import heappop, heappush
 from itertools import count
 from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.graph.core import Graph
+from repro.graph.csr import csr_snapshot
+from repro.paths.kernels import (
+    bounded_dijkstra_csr,
+    bounded_dijkstra_path_csr,
+    sssp_dijkstra_csr,
+)
 
 Node = Hashable
 
@@ -33,6 +45,11 @@ def dijkstra_distances(graph, source: Node,
     """
     if not graph.has_node(source):
         raise ValueError(f"source {source!r} not in graph")
+    if isinstance(graph, Graph):
+        csr = csr_snapshot(graph)
+        dist, order = sssp_dijkstra_csr(csr, csr.index_of[source], cutoff)
+        node_of = csr.node_of
+        return {node_of[index]: dist[index] for index in order}
     distances: Dict[Node, float] = {}
     tiebreak = count()
     heap: List[Tuple[float, int, Node]] = [(0.0, next(tiebreak), source)]
@@ -119,6 +136,13 @@ def bounded_distance(graph, source: Node, target: Node, budget: float) -> float:
     budget) or the smallest tentative distance exceeds ``budget`` (``inf``
     returned, meaning "farther than the budget").
     """
+    if isinstance(graph, Graph):
+        csr = csr_snapshot(graph)
+        s = csr.index_of.get(source)
+        t = csr.index_of.get(target)
+        if s is None or t is None:
+            return math.inf
+        return bounded_dijkstra_csr(csr, s, t, budget)
     if not graph.has_node(source) or not graph.has_node(target):
         return math.inf
     if source == target:
@@ -151,6 +175,15 @@ def bounded_path(graph, source: Node, target: Node,
     Used by the greedy path-packing fault oracle, which needs the internal
     vertices of a short path in order to block it.
     """
+    if isinstance(graph, Graph):
+        csr = csr_snapshot(graph)
+        s = csr.index_of.get(source)
+        t = csr.index_of.get(target)
+        if s is None or t is None:
+            return math.inf, []
+        distance, index_path = bounded_dijkstra_path_csr(csr, s, t, budget)
+        node_of = csr.node_of
+        return distance, [node_of[index] for index in index_path]
     if not graph.has_node(source) or not graph.has_node(target):
         return math.inf, []
     if source == target:

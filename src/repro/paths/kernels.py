@@ -1,0 +1,351 @@
+"""Array-native shortest-path kernels over :class:`~repro.graph.csr.CSRGraph`.
+
+These are the innermost loops of the whole library: every fault-check oracle
+query and every verification sweep ends up here.  Kernels take dense node
+indices and optional *fault masks* —
+
+* ``vertex_mask``: ``bytearray`` over node indices, ``1`` = faulted;
+* ``edge_mask``: ``bytearray`` over undirected edge ids, ``1`` = faulted —
+
+which replace the ``ExclusionView`` wrapper of the dict-based path: masking a
+fault is one byte write instead of building a view, and the inner expansion
+pays nothing for vertex faults at all, because the vertex mask is *folded
+into the visited/seen bytearray* at query start (a faulted vertex is simply
+born "already settled", which is exactly "never expanded, never pushed").
+
+Every kernel mirrors its dict-based reference in :mod:`repro.paths.dijkstra`
+/ :mod:`repro.paths.bfs` *exactly* — same heap tie-breaking (push-order
+counter), same neighbor order (CSR arcs preserve the graph's per-node
+insertion order), same budget semantics — so kernel-built spanners are
+byte-identical to reference-built ones.  The equivalence is enforced by
+``tests/test_csr_kernels.py``.
+
+All kernels tolerate a snapshot with a pending overflow (edges appended since
+the last compaction); the overflow arcs are walked after the compact slice,
+which together matches the source graph's per-node insertion order.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from heapq import heappop, heappush
+from typing import List, Optional, Tuple
+
+from repro.graph.csr import CSRGraph
+
+_INF = math.inf
+
+
+def bounded_dijkstra_csr(csr: CSRGraph, source: int, target: int, budget: float,
+                         vertex_mask: Optional[bytearray] = None,
+                         edge_mask: Optional[bytearray] = None) -> float:
+    """Distance from ``source`` to ``target`` or ``inf`` beyond ``budget``.
+
+    Kernel twin of :func:`repro.paths.dijkstra.bounded_distance` with fault
+    masks applied on the fly.  A masked source or target is unreachable.
+    """
+    if vertex_mask is None:
+        visited = bytearray(len(csr.node_of))
+    else:
+        if vertex_mask[source] or vertex_mask[target]:
+            return _INF
+        visited = bytearray(vertex_mask)
+    if source == target:
+        return 0.0
+    indptr = csr._indptr_l
+    indices = csr._indices_l
+    weights = csr._weights_l
+    edge_ids = csr._edge_ids_l
+    get_extra = csr._extra.get
+    best = [_INF] * len(visited)
+    best[source] = 0.0
+    tiebreak = 0
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+    while heap:
+        dist, _, node = heappop(heap)
+        if visited[node]:
+            continue
+        if dist > budget:
+            return _INF
+        if node == target:
+            return dist
+        visited[node] = 1
+        for t in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[t]
+            if visited[neighbor]:
+                continue
+            if edge_mask is not None and edge_mask[edge_ids[t]]:
+                continue
+            candidate = dist + weights[t]
+            if candidate <= budget and candidate < best[neighbor]:
+                best[neighbor] = candidate
+                tiebreak += 1
+                heappush(heap, (candidate, tiebreak, neighbor))
+        bucket = get_extra(node)
+        if bucket is not None:
+            for neighbor, weight, eid in bucket:
+                if visited[neighbor]:
+                    continue
+                if edge_mask is not None and edge_mask[eid]:
+                    continue
+                candidate = dist + weight
+                if candidate <= budget and candidate < best[neighbor]:
+                    best[neighbor] = candidate
+                    tiebreak += 1
+                    heappush(heap, (candidate, tiebreak, neighbor))
+    return _INF
+
+
+def bounded_dijkstra_path_csr(csr: CSRGraph, source: int, target: int, budget: float,
+                              vertex_mask: Optional[bytearray] = None,
+                              edge_mask: Optional[bytearray] = None
+                              ) -> Tuple[float, List[int]]:
+    """Like :func:`bounded_dijkstra_csr` but also returns a witness path.
+
+    Kernel twin of :func:`repro.paths.dijkstra.bounded_path`; the returned
+    path is a list of node *indices* (``source`` first), ``[]`` on failure.
+    """
+    n = len(csr.node_of)
+    if vertex_mask is None:
+        visited = bytearray(n)
+    else:
+        if vertex_mask[source] or vertex_mask[target]:
+            return _INF, []
+        visited = bytearray(vertex_mask)
+    if source == target:
+        return 0.0, [source]
+    indptr = csr._indptr_l
+    indices = csr._indices_l
+    weights = csr._weights_l
+    edge_ids = csr._edge_ids_l
+    get_extra = csr._extra.get
+    parents = [-1] * n
+    best = [_INF] * n
+    best[source] = 0.0
+    tiebreak = 0
+    heap: List[Tuple[float, int, int, int]] = [(0.0, 0, source, -1)]
+    while heap:
+        dist, _, node, parent = heappop(heap)
+        if visited[node]:
+            continue
+        if dist > budget:
+            return _INF, []
+        if parent >= 0:
+            parents[node] = parent
+        if node == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(parents[path[-1]])
+            path.reverse()
+            return dist, path
+        visited[node] = 1
+        for t in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[t]
+            if visited[neighbor]:
+                continue
+            if edge_mask is not None and edge_mask[edge_ids[t]]:
+                continue
+            candidate = dist + weights[t]
+            if candidate <= budget and candidate < best[neighbor]:
+                best[neighbor] = candidate
+                tiebreak += 1
+                heappush(heap, (candidate, tiebreak, neighbor, node))
+        bucket = get_extra(node)
+        if bucket is not None:
+            for neighbor, weight, eid in bucket:
+                if visited[neighbor]:
+                    continue
+                if edge_mask is not None and edge_mask[eid]:
+                    continue
+                candidate = dist + weight
+                if candidate <= budget and candidate < best[neighbor]:
+                    best[neighbor] = candidate
+                    tiebreak += 1
+                    heappush(heap, (candidate, tiebreak, neighbor, node))
+    return _INF, []
+
+
+def sssp_dijkstra_csr(csr: CSRGraph, source: int,
+                      cutoff: Optional[float] = None,
+                      vertex_mask: Optional[bytearray] = None,
+                      edge_mask: Optional[bytearray] = None
+                      ) -> Tuple[List[float], List[int]]:
+    """Single-source distances; kernel twin of ``dijkstra_distances``.
+
+    Returns ``(dist, order)``: ``dist[i]`` is the distance to node index
+    ``i`` (``inf`` if unreached / beyond ``cutoff`` / masked) and ``order``
+    lists the settled indices in settling order — callers that build dicts
+    iterate ``order`` so dict insertion order matches the reference.
+    """
+    n = len(csr.node_of)
+    dist: List[float] = [_INF] * n
+    order: List[int] = []
+    if vertex_mask is None:
+        visited = bytearray(n)
+    else:
+        if vertex_mask[source]:
+            return dist, order
+        visited = bytearray(vertex_mask)
+    indptr = csr._indptr_l
+    indices = csr._indices_l
+    weights = csr._weights_l
+    edge_ids = csr._edge_ids_l
+    get_extra = csr._extra.get
+    best = [_INF] * n
+    best[source] = 0.0
+    tiebreak = 0
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+    while heap:
+        d, _, node = heappop(heap)
+        if visited[node]:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        visited[node] = 1
+        dist[node] = d
+        order.append(node)
+        for t in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[t]
+            if visited[neighbor]:
+                continue
+            if edge_mask is not None and edge_mask[edge_ids[t]]:
+                continue
+            candidate = d + weights[t]
+            if cutoff is not None and candidate > cutoff:
+                continue
+            if candidate >= best[neighbor]:
+                continue
+            best[neighbor] = candidate
+            tiebreak += 1
+            heappush(heap, (candidate, tiebreak, neighbor))
+        bucket = get_extra(node)
+        if bucket is not None:
+            for neighbor, weight, eid in bucket:
+                if visited[neighbor]:
+                    continue
+                if edge_mask is not None and edge_mask[eid]:
+                    continue
+                candidate = d + weight
+                if cutoff is not None and candidate > cutoff:
+                    continue
+                if candidate >= best[neighbor]:
+                    continue
+                best[neighbor] = candidate
+                tiebreak += 1
+                heappush(heap, (candidate, tiebreak, neighbor))
+    return dist, order
+
+
+def bfs_distances_csr(csr: CSRGraph, source: int,
+                      max_hops: Optional[int] = None,
+                      vertex_mask: Optional[bytearray] = None,
+                      edge_mask: Optional[bytearray] = None
+                      ) -> Tuple[List[int], List[int]]:
+    """Hop distances; kernel twin of ``bfs_distances``.
+
+    Returns ``(dist, order)`` with ``dist[i] = -1`` for unreached nodes and
+    ``order`` the discovery order (matching the reference dict's insertion
+    order, source first).
+    """
+    n = len(csr.node_of)
+    dist = [-1] * n
+    order: List[int] = []
+    if vertex_mask is None:
+        seen = bytearray(n)
+    else:
+        if vertex_mask[source]:
+            return dist, order
+        seen = bytearray(vertex_mask)
+    seen[source] = 1
+    dist[source] = 0
+    order.append(source)
+    indptr = csr._indptr_l
+    indices = csr._indices_l
+    edge_ids = csr._edge_ids_l
+    get_extra = csr._extra.get
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_dist = dist[node] + 1
+        if max_hops is not None and next_dist > max_hops:
+            continue
+        for t in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[t]
+            if seen[neighbor]:
+                continue
+            if edge_mask is not None and edge_mask[edge_ids[t]]:
+                continue
+            seen[neighbor] = 1
+            dist[neighbor] = next_dist
+            order.append(neighbor)
+            queue.append(neighbor)
+        bucket = get_extra(node)
+        if bucket is not None:
+            for neighbor, _, eid in bucket:
+                if seen[neighbor]:
+                    continue
+                if edge_mask is not None and edge_mask[eid]:
+                    continue
+                seen[neighbor] = 1
+                dist[neighbor] = next_dist
+                order.append(neighbor)
+                queue.append(neighbor)
+    return dist, order
+
+
+def bounded_bfs_csr(csr: CSRGraph, source: int, target: int,
+                    max_hops: Optional[int] = None,
+                    vertex_mask: Optional[bytearray] = None,
+                    edge_mask: Optional[bytearray] = None) -> float:
+    """Hop distance between two indices; kernel twin of ``hop_distance``.
+
+    Early-exits the moment ``target`` enters the frontier; ``inf`` when it is
+    unreachable within ``max_hops`` (or masked).
+    """
+    n = len(csr.node_of)
+    if vertex_mask is None:
+        seen = bytearray(n)
+    else:
+        if vertex_mask[source] or vertex_mask[target]:
+            return _INF
+        seen = bytearray(vertex_mask)
+    if source == target:
+        return 0.0
+    seen[source] = 1
+    dist = [-1] * n
+    dist[source] = 0
+    indptr = csr._indptr_l
+    indices = csr._indices_l
+    edge_ids = csr._edge_ids_l
+    get_extra = csr._extra.get
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_dist = dist[node] + 1
+        if max_hops is not None and next_dist > max_hops:
+            continue
+        for t in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[t]
+            if seen[neighbor]:
+                continue
+            if edge_mask is not None and edge_mask[edge_ids[t]]:
+                continue
+            if neighbor == target:
+                return float(next_dist)
+            seen[neighbor] = 1
+            dist[neighbor] = next_dist
+            queue.append(neighbor)
+        bucket = get_extra(node)
+        if bucket is not None:
+            for neighbor, _, eid in bucket:
+                if seen[neighbor]:
+                    continue
+                if edge_mask is not None and edge_mask[eid]:
+                    continue
+                if neighbor == target:
+                    return float(next_dist)
+                seen[neighbor] = 1
+                dist[neighbor] = next_dist
+                queue.append(neighbor)
+    return _INF

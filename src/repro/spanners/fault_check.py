@@ -29,6 +29,14 @@ an open problem.  This module provides three oracles behind one interface:
 All oracles return either a canonical fault set ``F`` witnessing the distance
 blow-up, or ``None`` when no such set exists (or was found, for the
 heuristic).
+
+When the queried graph is a plain :class:`~repro.graph.core.Graph` (always
+the case inside the greedy driver, where it is the growing spanner ``H``),
+every oracle runs on the compiled CSR snapshot with *fault masks*: trying a
+candidate fault set is a few byte writes on a mask instead of building an
+:class:`ExclusionView`, and the distance query itself runs the array-native
+kernels.  Duck-typed graphs (views, test doubles) fall back to the original
+view-based implementations, which the mask path mirrors decision-for-decision.
 """
 
 from __future__ import annotations
@@ -39,9 +47,11 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.faults.enumeration import enumerate_fault_sets
 from repro.faults.models import FaultModel, FaultSet, get_fault_model
-from repro.graph.core import Node, edge_key
+from repro.graph.core import Graph, Node, edge_key
+from repro.graph.csr import CSRGraph, csr_snapshot
 from repro.graph.views import ExclusionView
 from repro.paths.dijkstra import bounded_distance, bounded_path
+from repro.paths.kernels import bounded_dijkstra_csr, bounded_dijkstra_path_csr
 
 
 class OracleStats:
@@ -110,6 +120,27 @@ class ExhaustiveOracle(FaultCheckOracle):
         model = get_fault_model(fault_model)
         self.stats.queries += 1
         elements = model.candidate_elements(graph, source, target)
+        if isinstance(graph, Graph):
+            csr = csr_snapshot(graph)
+            s = csr.index_of.get(source)
+            t = csr.index_of.get(target)
+            mask = model.new_mask(csr)
+            vertex_mask, edge_mask = model.kernel_masks(mask)
+            for faults in enumerate_fault_sets(elements, max_faults):
+                indices = model.mask_indices(csr, faults)
+                for index in indices:
+                    mask[index] = 1
+                self.stats.distance_queries += 1
+                if s is None or t is None:
+                    exceeded = True
+                else:
+                    exceeded = bounded_dijkstra_csr(
+                        csr, s, t, budget, vertex_mask, edge_mask) > budget
+                for index in indices:
+                    mask[index] = 0
+                if exceeded:
+                    return model.canonical(faults)
+            return None
         for faults in enumerate_fault_sets(elements, max_faults):
             view = model.apply(graph, faults)
             if self._distance_exceeds(view, source, target, budget):
@@ -141,8 +172,47 @@ class BranchAndBoundOracle(FaultCheckOracle):
                                 fault_model: "str | FaultModel") -> Optional[FaultSet]:
         model = get_fault_model(fault_model)
         self.stats.queries += 1
-        found = self._search(graph, source, target, budget, max_faults, model, [])
+        if isinstance(graph, Graph):
+            csr = csr_snapshot(graph)
+            mask = model.new_mask(csr)
+            found = self._search_csr(
+                csr, source, target,
+                csr.index_of.get(source), csr.index_of.get(target),
+                budget, max_faults, model, [], mask,
+            )
+        else:
+            found = self._search(graph, source, target, budget, max_faults, model, [])
         return model.canonical(found) if found is not None else None
+
+    def _search_csr(self, csr: CSRGraph, source: Node, target: Node,
+                    s: Optional[int], t: Optional[int], budget: float,
+                    remaining: int, model: FaultModel,
+                    current: List, mask: bytearray) -> Optional[List]:
+        """Mask-based twin of :meth:`_search`: branch = one byte write."""
+        self.stats.nodes_expanded += 1
+        self.stats.distance_queries += 1
+        if s is None or t is None:
+            return list(current)
+        vertex_mask, edge_mask = model.kernel_masks(mask)
+        distance, index_path = bounded_dijkstra_path_csr(
+            csr, s, t, budget, vertex_mask, edge_mask)
+        if distance > budget:
+            return list(current)
+        if remaining == 0:
+            return None
+        node_of = csr.node_of
+        path = [node_of[index] for index in index_path]
+        for element in self._path_elements(path, source, target, model):
+            index = model.mask_indices(csr, (element,))[0]
+            current.append(element)
+            mask[index] = 1
+            result = self._search_csr(csr, source, target, s, t, budget,
+                                      remaining - 1, model, current, mask)
+            mask[index] = 0
+            current.pop()
+            if result is not None:
+                return result
+        return None
 
     def _search(self, graph, source: Node, target: Node, budget: float,
                 remaining: int, model: FaultModel,
@@ -197,6 +267,8 @@ class GreedyPathPackingOracle(FaultCheckOracle):
                                 fault_model: "str | FaultModel") -> Optional[FaultSet]:
         model = get_fault_model(fault_model)
         self.stats.queries += 1
+        if isinstance(graph, Graph):
+            return self._find_csr(graph, source, target, budget, max_faults, model)
         chosen: List = []
         for _ in range(max_faults + 1):
             view = model.apply(graph, chosen) if chosen else graph
@@ -212,6 +284,35 @@ class GreedyPathPackingOracle(FaultCheckOracle):
                 # under vertex faults): no fault set can break this pair.
                 return None
             chosen.append(elements[len(elements) // 2])
+        return None
+
+    def _find_csr(self, graph: Graph, source: Node, target: Node, budget: float,
+                  max_faults: int, model: FaultModel) -> Optional[FaultSet]:
+        """Mask-based twin of the view loop above."""
+        csr = csr_snapshot(graph)
+        s = csr.index_of.get(source)
+        t = csr.index_of.get(target)
+        mask = model.new_mask(csr)
+        vertex_mask, edge_mask = model.kernel_masks(mask)
+        node_of = csr.node_of
+        chosen: List = []
+        for _ in range(max_faults + 1):
+            self.stats.distance_queries += 1
+            if s is None or t is None:
+                return model.canonical(chosen)
+            distance, index_path = bounded_dijkstra_path_csr(
+                csr, s, t, budget, vertex_mask, edge_mask)
+            if distance > budget:
+                return model.canonical(chosen)
+            if len(chosen) >= max_faults:
+                return None
+            path = [node_of[index] for index in index_path]
+            elements = BranchAndBoundOracle._path_elements(path, source, target, model)
+            if not elements:
+                return None
+            element = elements[len(elements) // 2]
+            chosen.append(element)
+            mask[model.mask_indices(csr, (element,))[0]] = 1
         return None
 
 

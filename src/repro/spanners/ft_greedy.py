@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.faults.models import FaultModel, get_fault_model
 from repro.graph.core import Graph, edge_key
+from repro.graph.csr import csr_snapshot
 from repro.spanners.base import SpannerResult
 from repro.spanners.fault_check import FaultCheckOracle, get_oracle
 from repro.spanners.greedy import sorted_edges
@@ -84,6 +85,10 @@ def ft_greedy_spanner(graph: Graph, stretch: float, max_faults: int,
     checker.stats.reset()
 
     spanner = graph.spanning_subgraph()
+    # Compile H's CSR snapshot up front: Graph.add_edge keeps it in sync as
+    # edges are kept, so the oracle's mask-based kernels never recompile
+    # while H grows (thousands of bounded Dijkstra queries per insertion).
+    csr_snapshot(spanner)
     witnesses = {}
     timer = Timer("ft-greedy").start()
     considered = 0

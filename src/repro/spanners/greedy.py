@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.graph.core import Graph, edge_key
-from repro.paths.dijkstra import bounded_distance
+from repro.graph.csr import csr_snapshot
+from repro.paths.kernels import bounded_dijkstra_csr
 from repro.spanners.base import SpannerResult
 from repro.utils.timing import Timer
 
@@ -52,11 +53,16 @@ def greedy_spanner(graph: Graph, stretch: float) -> SpannerResult:
     timer = Timer("greedy").start()
     considered = 0
     distance_queries = 0
+    # Graph.add_edge appends into the compiled snapshot of H incrementally,
+    # so csr_snapshot() is a version check per edge and every distance query
+    # runs on the array kernels without recompiling.
     for u, v, w in sorted_edges(graph):
         considered += 1
         budget = stretch * w
         distance_queries += 1
-        if bounded_distance(spanner, u, v, budget) > budget:
+        snapshot = csr_snapshot(spanner)
+        index_of = snapshot.index_of
+        if bounded_dijkstra_csr(snapshot, index_of[u], index_of[v], budget) > budget:
             spanner.add_edge(u, v, w)
     timer.stop()
     return SpannerResult(

@@ -20,7 +20,9 @@ from repro.faults.adversarial import stretch_under_faults
 from repro.faults.enumeration import count_fault_sets, enumerate_fault_sets, sample_fault_sets
 from repro.faults.models import FaultModel, FaultSet, get_fault_model
 from repro.graph.core import Graph, Node
+from repro.graph.csr import csr_snapshot
 from repro.paths.dijkstra import dijkstra_distances
+from repro.paths.kernels import sssp_dijkstra_csr
 
 _RELATIVE_TOLERANCE = 1e-9
 
@@ -42,6 +44,36 @@ def stretch_of(original: Graph, subgraph: Graph,
         sources = list(restrict)
     else:
         sources = list(original.nodes())
+
+    if isinstance(original, Graph) and isinstance(subgraph, Graph):
+        # APSP sweep over the cached CSR snapshots: per source two kernel
+        # runs and one pass over the settled indices — no per-source dicts.
+        csr_g = csr_snapshot(original)
+        csr_h = csr_snapshot(subgraph)
+        node_of = csr_g.node_of
+        h_index = csr_h.index_of
+        for source in sources:
+            if not original.has_node(source):
+                raise ValueError(f"source {source!r} not in graph")
+            base_dist, base_order = sssp_dijkstra_csr(csr_g, csr_g.index_of[source])
+            hs = h_index.get(source)
+            sub_dist = sssp_dijkstra_csr(csr_h, hs)[0] if hs is not None else None
+            allowed = restrict.get(source, ()) if restrict is not None else None
+            for index in base_order:
+                target = node_of[index]
+                base_distance = base_dist[index]
+                if target == source or base_distance == 0:
+                    continue
+                if allowed is not None and target not in allowed:
+                    continue
+                if sub_dist is None:
+                    ratio = math.inf
+                else:
+                    j = h_index.get(target)
+                    ratio = (sub_dist[j] if j is not None else math.inf) / base_distance
+                if ratio > worst:
+                    worst = ratio
+        return worst
 
     for source in sources:
         base = dijkstra_distances(original, source)

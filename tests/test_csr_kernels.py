@@ -1,0 +1,362 @@
+"""CSR snapshot + kernel equivalence tests.
+
+The contract of :mod:`repro.graph.csr` / :mod:`repro.paths.kernels` is exact
+behavioural equivalence with the dict-based reference path (``ExclusionView``
++ the view implementations in :mod:`repro.paths`): same distances, same
+witness paths, same dict insertion order, and therefore byte-identical
+spanners.  These tests drive that contract property-style on random graphs
+with random fault masks, and also exercise the snapshot lifecycle
+(version-keyed caching, incremental append, overflow compaction).
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.core import Graph, edge_key
+from repro.graph.csr import CSRGraph, csr_snapshot
+from repro.graph.views import ExclusionView
+from repro.paths.bfs import _bfs_core
+from repro.paths.kernels import (
+    bfs_distances_csr,
+    bounded_bfs_csr,
+    bounded_dijkstra_csr,
+    bounded_dijkstra_path_csr,
+    sssp_dijkstra_csr,
+)
+from repro.spanners.fault_check import (
+    BranchAndBoundOracle,
+    ExhaustiveOracle,
+    GreedyPathPackingOracle,
+)
+from repro.utils.rng import RandomSource
+
+SETTINGS = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+# --------------------------------------------------------------------------
+# Reference implementations (dict/view path, pre-CSR semantics)
+# --------------------------------------------------------------------------
+
+def _ref_bounded_distance(graph, source, target, budget):
+    """The seed ``bounded_distance`` (dispatch-free, works on views)."""
+    from heapq import heappop, heappush
+    from itertools import count
+    if not graph.has_node(source) or not graph.has_node(target):
+        return math.inf
+    if source == target:
+        return 0.0
+    visited = set()
+    tiebreak = count()
+    heap = [(0.0, next(tiebreak), source)]
+    while heap:
+        dist, _, node = heappop(heap)
+        if node in visited:
+            continue
+        if dist > budget:
+            return math.inf
+        if node == target:
+            return dist
+        visited.add(node)
+        for neighbor, weight in graph.adjacency(node).items():
+            if neighbor in visited:
+                continue
+            candidate = dist + weight
+            if candidate <= budget:
+                heappush(heap, (candidate, next(tiebreak), neighbor))
+    return math.inf
+
+
+def _ref_bounded_path(graph, source, target, budget):
+    """The seed ``bounded_path`` (dispatch-free, works on views)."""
+    from heapq import heappop, heappush
+    from itertools import count
+    if not graph.has_node(source) or not graph.has_node(target):
+        return math.inf, []
+    if source == target:
+        return 0.0, [source]
+    visited = set()
+    parents = {}
+    tiebreak = count()
+    heap = [(0.0, next(tiebreak), source, None)]
+    while heap:
+        dist, _, node, parent = heappop(heap)
+        if node in visited:
+            continue
+        if dist > budget:
+            return math.inf, []
+        if parent is not None:
+            parents[node] = parent
+        if node == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(parents[path[-1]])
+            path.reverse()
+            return dist, path
+        visited.add(node)
+        for neighbor, weight in graph.adjacency(node).items():
+            if neighbor in visited:
+                continue
+            candidate = dist + weight
+            if candidate <= budget:
+                heappush(heap, (candidate, next(tiebreak), neighbor, node))
+    return math.inf, []
+
+
+def _ref_dijkstra_distances(graph, source, cutoff=None):
+    """The seed ``dijkstra_distances`` (dispatch-free, works on views)."""
+    from heapq import heappop, heappush
+    from itertools import count
+    distances = {}
+    tiebreak = count()
+    heap = [(0.0, next(tiebreak), source)]
+    while heap:
+        dist, _, node = heappop(heap)
+        if node in distances:
+            continue
+        if cutoff is not None and dist > cutoff:
+            continue
+        distances[node] = dist
+        for neighbor, weight in graph.adjacency(node).items():
+            if neighbor in distances:
+                continue
+            candidate = dist + weight
+            if cutoff is not None and candidate > cutoff:
+                continue
+            heappush(heap, (candidate, next(tiebreak), neighbor))
+    return distances
+
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+
+@st.composite
+def masked_instances(draw, max_nodes=10, weighted=True):
+    """A random graph plus a random vertex fault set and edge fault set."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    density = draw(st.floats(min_value=0.2, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = RandomSource(seed)
+    graph = Graph(nodes=range(n))
+    order = list(range(n))
+    rng.shuffle(order)
+    for index in range(1, n):
+        anchor = order[rng.randint(0, index - 1)]
+        weight = rng.uniform(1.0, 5.0) if weighted else 1.0
+        graph.add_edge(order[index], anchor, weight)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v) and rng.bernoulli(density):
+                weight = rng.uniform(1.0, 5.0) if weighted else 1.0
+                graph.add_edge(u, v, weight)
+    num_vertex_faults = draw(st.integers(min_value=0, max_value=max(0, n - 2)))
+    vertex_faults = [order[i] for i in range(num_vertex_faults)]
+    edges = list(graph.edge_keys())
+    num_edge_faults = draw(st.integers(min_value=0, max_value=min(4, len(edges))))
+    edge_faults = edges[:num_edge_faults]
+    source = draw(st.integers(min_value=0, max_value=n - 1))
+    target = draw(st.integers(min_value=0, max_value=n - 1))
+    budget = draw(st.floats(min_value=0.5, max_value=12.0))
+    return graph, vertex_faults, edge_faults, source, target, budget
+
+
+# --------------------------------------------------------------------------
+# Kernel vs reference equivalence under random fault masks
+# --------------------------------------------------------------------------
+
+@SETTINGS
+@given(masked_instances())
+def test_bounded_dijkstra_csr_matches_view_reference(instance):
+    graph, vertex_faults, edge_faults, source, target, budget = instance
+    view = ExclusionView(graph, excluded_nodes=vertex_faults,
+                         excluded_edges=edge_faults)
+    expected = _ref_bounded_distance(view, source, target, budget)
+    csr = csr_snapshot(graph)
+    got = bounded_dijkstra_csr(
+        csr, csr.index_of[source], csr.index_of[target], budget,
+        csr.vertex_fault_mask(vertex_faults),
+        csr.edge_fault_mask(edge_faults),
+    )
+    assert got == expected
+
+
+@SETTINGS
+@given(masked_instances())
+def test_bounded_dijkstra_path_csr_matches_view_reference(instance):
+    graph, vertex_faults, edge_faults, source, target, budget = instance
+    view = ExclusionView(graph, excluded_nodes=vertex_faults,
+                         excluded_edges=edge_faults)
+    expected_dist, expected_path = _ref_bounded_path(view, source, target, budget)
+    csr = csr_snapshot(graph)
+    got_dist, index_path = bounded_dijkstra_path_csr(
+        csr, csr.index_of[source], csr.index_of[target], budget,
+        csr.vertex_fault_mask(vertex_faults),
+        csr.edge_fault_mask(edge_faults),
+    )
+    assert got_dist == expected_dist
+    # The witness path must match node-for-node: the oracles branch on its
+    # elements, so any deviation would change spanner outputs.
+    assert [csr.node_of[i] for i in index_path] == expected_path
+
+
+@SETTINGS
+@given(masked_instances())
+def test_sssp_csr_matches_view_reference_including_order(instance):
+    graph, vertex_faults, edge_faults, source, _, _ = instance
+    if source in vertex_faults:
+        return
+    view = ExclusionView(graph, excluded_nodes=vertex_faults,
+                         excluded_edges=edge_faults)
+    expected = _ref_dijkstra_distances(view, source)
+    csr = csr_snapshot(graph)
+    dist, order = sssp_dijkstra_csr(
+        csr, csr.index_of[source], None,
+        csr.vertex_fault_mask(vertex_faults),
+        csr.edge_fault_mask(edge_faults),
+    )
+    got = {csr.node_of[i]: dist[i] for i in order}
+    assert got == expected
+    # Settle order (== reference dict insertion order) must match too.
+    assert list(got) == list(expected)
+
+
+@SETTINGS
+@given(masked_instances(weighted=False))
+def test_bfs_kernels_match_view_reference(instance):
+    graph, vertex_faults, edge_faults, source, target, _ = instance
+    view = ExclusionView(graph, excluded_nodes=vertex_faults,
+                         excluded_edges=edge_faults)
+    csr = csr_snapshot(graph)
+    vmask = csr.vertex_fault_mask(vertex_faults)
+    emask = csr.edge_fault_mask(edge_faults)
+    for max_hops in (None, 2):
+        if source not in vertex_faults:
+            expected, _ = _bfs_core(view, source, max_hops)
+            dist, order = bfs_distances_csr(csr, csr.index_of[source], max_hops,
+                                            vmask, emask)
+            got = {csr.node_of[i]: dist[i] for i in order}
+            assert got == expected
+        if view.has_node(source) and view.has_node(target):
+            if source == target:
+                expected_hop = 0.0
+            else:
+                _, found = _bfs_core(view, source, max_hops, target=target)
+                expected_hop = float(found) if found is not None else math.inf
+            got_hop = bounded_bfs_csr(csr, csr.index_of[source],
+                                      csr.index_of[target], max_hops,
+                                      vmask, emask)
+            assert got_hop == expected_hop
+
+
+# --------------------------------------------------------------------------
+# Oracles: CSR mask path vs view fallback path
+# --------------------------------------------------------------------------
+
+@SETTINGS
+@given(masked_instances(max_nodes=8),
+       st.integers(min_value=0, max_value=2),
+       st.sampled_from(["vertex", "edge"]),
+       st.sampled_from([ExhaustiveOracle, BranchAndBoundOracle,
+                        GreedyPathPackingOracle]))
+def test_oracles_agree_between_csr_and_view_paths(instance, faults, model, oracle_cls):
+    graph, _, _, source, target, budget = instance
+    if source == target:
+        return
+    if oracle_cls is ExhaustiveOracle and faults > 1:
+        faults = 1  # keep the ground-truth oracle affordable
+    csr_result = oracle_cls().find_breaking_fault_set(
+        graph, source, target, budget, faults, model)
+    # An exclusion-free view forces the legacy view-based implementation.
+    view_result = oracle_cls().find_breaking_fault_set(
+        ExclusionView(graph), source, target, budget, faults, model)
+    assert csr_result == view_result
+
+
+# --------------------------------------------------------------------------
+# Snapshot lifecycle: interning, incremental append, compaction, caching
+# --------------------------------------------------------------------------
+
+def test_incremental_append_matches_from_graph():
+    rng = RandomSource(7)
+    graph = Graph(nodes=range(30))
+    incremental = csr_snapshot(graph)  # compiled while empty, then appended to
+    edges = []
+    for u in range(30):
+        for v in range(u + 1, 30):
+            if rng.bernoulli(0.4):
+                edges.append((u, v, rng.uniform(1.0, 4.0)))
+    for u, v, w in edges:
+        graph.add_edge(u, v, w)
+    assert csr_snapshot(graph) is incremental  # kept in sync, never recompiled
+    fresh = CSRGraph.from_graph(graph)
+    assert incremental.node_of == fresh.node_of
+    assert incremental.edge_index == fresh.edge_index
+    for source in range(0, 30, 7):
+        for target in range(1, 30, 5):
+            a = bounded_dijkstra_csr(incremental, source, target, 9.0)
+            b = bounded_dijkstra_csr(fresh, source, target, 9.0)
+            assert a == b
+    # Folding the overflow must not change the arc order the kernels see.
+    incremental.compact()
+    assert incremental.indices == fresh.indices
+    assert incremental.weights == fresh.weights
+    assert incremental.edge_ids == fresh.edge_ids
+    assert incremental.indptr == fresh.indptr
+
+
+def test_snapshot_cache_keyed_on_version():
+    graph = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+    first = csr_snapshot(graph)
+    assert csr_snapshot(graph) is first  # unchanged graph: cache hit
+    version = graph.version
+    graph.add_edge(0, 3)
+    assert graph.version > version
+    snap = csr_snapshot(graph)
+    assert snap is first  # appends keep the snapshot live...
+    assert snap.edge_id(0, 3) is not None
+    graph.remove_edge(0, 3)
+    rebuilt = csr_snapshot(graph)
+    assert rebuilt is not first  # ...removals force a recompile
+    assert rebuilt.edge_id(0, 3) is None
+    # Weight overwrites also invalidate (CSR weights are baked in).
+    graph.add_edge(0, 1, 5.0)
+    assert csr_snapshot(graph).weights[0] == 5.0
+
+
+def test_graph_version_bumps_on_every_mutation():
+    graph = Graph()
+    before = graph.version
+    graph.add_node("a")
+    assert graph.version > before
+    before = graph.version
+    graph.add_node("a")  # idempotent re-add: no structural change
+    assert graph.version == before
+    graph.add_edge("a", "b")
+    assert graph.version > before
+    before = graph.version
+    graph.add_edge("a", "b", 2.0)  # weight overwrite is a mutation
+    assert graph.version > before
+    before = graph.version
+    graph.remove_edge("a", "b")
+    assert graph.version > before
+    before = graph.version
+    graph.remove_node("b")
+    assert graph.version > before
+
+
+def test_edge_ids_are_stable_across_compaction():
+    graph = Graph(nodes=range(10))
+    snap = csr_snapshot(graph)
+    ids = {}
+    rng = RandomSource(3)
+    for u in range(10):
+        for v in range(u + 1, 10):
+            if rng.bernoulli(0.8):
+                graph.add_edge(u, v)
+                ids[edge_key(u, v)] = snap.edge_id(u, v)
+    snap.compact()
+    for (u, v), eid in ids.items():
+        assert snap.edge_id(u, v) == eid
