@@ -50,8 +50,9 @@ from repro.bounds import (
     bdpw_lower_bound_instance,
 )
 from repro.faults import VERTEX_FAULTS, EDGE_FAULTS, get_fault_model
+from repro.engine import QueryEngine, SpannerSnapshot
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
@@ -79,5 +80,7 @@ __all__ = [
     "VERTEX_FAULTS",
     "EDGE_FAULTS",
     "get_fault_model",
+    "QueryEngine",
+    "SpannerSnapshot",
     "__version__",
 ]

@@ -11,22 +11,39 @@ Installed as ``repro-spanner`` (see ``pyproject.toml``) and runnable as
   its result table;
 * ``lower-bound`` — generate a BDPW lower-bound instance and write it to a
   file;
-* ``generate``    — generate a workload graph to a file.
+* ``generate``    — generate a workload graph to a file;
+* ``serve``       — load (or build) a spanner snapshot and replay a synthetic
+  query workload through the batched query engine, reporting throughput and
+  cache statistics;
+* ``query``       — answer a single fault-tolerant distance query against a
+  snapshot or graph file.
 
 All graph files are the edge-list / JSON formats of :mod:`repro.graph.io`
-(chosen by extension: ``.json`` vs anything else).
+(chosen by extension via :func:`repro.graph.io.load_graph_auto`); spanner
+snapshots are the JSON documents of :mod:`repro.engine.snapshot`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
+import time
 from pathlib import Path
 
 from repro.bounds.lower_bound import bdpw_lower_bound_instance
+from repro.engine.engine import EngineError, QueryEngine
+from repro.engine.snapshot import SpannerSnapshot
+from repro.engine.workload import (
+    fault_churn_sessions,
+    split_batches,
+    uniform_workload,
+    zipf_workload,
+)
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.workloads import WORKLOADS, get_workload
-from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
+from repro.graph.io import load_graph_auto, parse_node, save_graph_auto
 from repro.graph.products import relabel_product_nodes
 from repro.spanners.ft_greedy import ft_greedy_spanner
 from repro.spanners.greedy import greedy_spanner
@@ -36,27 +53,12 @@ from repro.utils.logging import configure_cli_logging, get_logger
 _LOGGER = get_logger("cli")
 
 
-def _load_graph(path: str):
-    path_obj = Path(path)
-    if path_obj.suffix == ".json":
-        return read_json(path_obj)
-    return read_edge_list(path_obj)
-
-
-def _save_graph(graph, path: str) -> None:
-    path_obj = Path(path)
-    if path_obj.suffix == ".json":
-        write_json(graph, path_obj)
-    else:
-        write_edge_list(graph, path_obj)
-
-
 # --------------------------------------------------------------------------
 # Subcommand implementations
 # --------------------------------------------------------------------------
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.input)
+    graph = load_graph_auto(args.input)
     if args.faults > 0:
         result = ft_greedy_spanner(graph, args.stretch, args.faults,
                                    fault_model=args.fault_model,
@@ -69,14 +71,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
           f"({result.compression_ratio:.1%} of input) "
           f"in {result.construction_seconds:.2f}s")
     if args.output:
-        _save_graph(result.spanner, args.output)
+        save_graph_auto(result.spanner, args.output)
         print(f"wrote spanner to {args.output}")
     return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    original = _load_graph(args.original)
-    subgraph = _load_graph(args.subgraph)
+    original = load_graph_auto(args.original)
+    subgraph = load_graph_auto(args.subgraph)
     if args.faults > 0:
         report = is_ft_spanner(original, subgraph, args.stretch, args.faults,
                                fault_model=args.fault_model, method=args.method,
@@ -99,15 +101,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         idents = sorted(EXPERIMENTS)
     else:
         idents = [args.ident]
+    documents = []
     for ident in idents:
         table = run_experiment(ident, scale=args.scale, rng=args.seed)
-        print()
-        print(table.to_markdown() if args.markdown else table.to_ascii())
+        if args.json:
+            documents.append({"experiment": ident.upper(), "scale": args.scale,
+                              "seed": args.seed, **table.to_json()})
+        else:
+            print()
+            print(table.to_markdown() if args.markdown else table.to_ascii())
         if args.csv_dir:
             out = Path(args.csv_dir) / f"{ident.lower()}.csv"
             out.parent.mkdir(parents=True, exist_ok=True)
             out.write_text(table.to_csv(), encoding="utf-8")
-            print(f"[wrote {out}]")
+            if not args.json:
+                print(f"[wrote {out}]")
+    if args.json:
+        print(json.dumps(documents if len(documents) != 1 else documents[0],
+                         indent=2))
     return 0
 
 
@@ -118,7 +129,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
     print(f"BDPW blow-up: base={instance.base.name} copies={instance.copies} "
           f"n={instance.nodes} m={instance.edges}")
     if args.output:
-        _save_graph(graph, args.output)
+        save_graph_auto(graph, args.output)
         print(f"wrote instance to {args.output}")
     return 0
 
@@ -127,8 +138,155 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     graph = workload.instantiate(args.seed)
     print(f"{workload.name}: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
-    _save_graph(graph, args.output)
+    save_graph_auto(graph, args.output)
     print(f"wrote graph to {args.output}")
+    return 0
+
+
+def _resolve_snapshot(args: argparse.Namespace) -> SpannerSnapshot:
+    """Load a snapshot file, or build one from a graph file (serve/query)."""
+    if SpannerSnapshot.is_snapshot_file(args.input):
+        return SpannerSnapshot.load(args.input)
+    graph = load_graph_auto(args.input)
+    if args.faults > 0:
+        result = ft_greedy_spanner(graph, args.stretch, args.faults,
+                                   fault_model=args.fault_model,
+                                   oracle=args.oracle)
+    else:
+        result = greedy_spanner(graph, args.stretch)
+    return SpannerSnapshot.from_result(result)
+
+
+def _parse_fault_spec(spec: str, fault_model: str) -> tuple:
+    """Parse ``--faults``: comma-separated nodes, or ``u:v`` pairs for edges."""
+    if not spec:
+        return ()
+    faults = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if fault_model == "edge":
+            endpoints = token.split(":")
+            if len(endpoints) != 2:
+                raise ValueError(
+                    f"edge fault {token!r} must be 'u:v' (colon-separated endpoints)"
+                )
+            faults.append((parse_node(endpoints[0]), parse_node(endpoints[1])))
+        else:
+            faults.append(parse_node(token))
+    return tuple(faults)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    snapshot = _resolve_snapshot(args)
+    if args.save_snapshot:
+        snapshot.save(args.save_snapshot)
+    engine = QueryEngine(snapshot, cache_size=args.cache_size)
+    query_faults = (snapshot.max_faults if args.query_faults is None
+                    else args.query_faults)
+    if args.workload == "uniform":
+        queries = uniform_workload(snapshot.spanner, args.queries,
+                                   max_faults=query_faults,
+                                   fault_model=snapshot.fault_model,
+                                   rng=args.seed)
+    elif args.workload == "zipf":
+        queries = zipf_workload(snapshot.spanner, args.queries,
+                                skew=args.zipf_skew, max_faults=query_faults,
+                                fault_pool=args.fault_pool,
+                                fault_model=snapshot.fault_model,
+                                rng=args.seed)
+    else:  # churn
+        per_session = max(1, args.queries // max(1, args.sessions))
+        queries = fault_churn_sessions(snapshot.spanner, args.sessions,
+                                       per_session, max_faults=query_faults,
+                                       fault_model=snapshot.fault_model,
+                                       rng=args.seed)
+    started = time.perf_counter()
+    reachable = 0
+    for batch in split_batches(queries, args.batch_size):
+        for distance in engine.distances_batch(batch):
+            if not math.isinf(distance):
+                reachable += 1
+    elapsed = time.perf_counter() - started
+    stats = engine.stats()
+    report = {
+        "workload": {"shape": args.workload, "queries": len(queries),
+                     "batch_size": args.batch_size,
+                     "query_faults": query_faults, "seed": args.seed},
+        "reachable_fraction": reachable / len(queries) if queries else 0.0,
+        "wall_seconds": elapsed,
+        "throughput_qps": len(queries) / elapsed if elapsed > 0 else 0.0,
+        **stats,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    info = stats["snapshot"]
+    print(f"snapshot: {info['algorithm']} k={info['stretch']} "
+          f"f={info['max_faults']} ({info['fault_model']}) "
+          f"n={info['nodes']} m={info['edges']}")
+    if args.save_snapshot:
+        print(f"wrote snapshot to {args.save_snapshot}")
+    print(f"workload: {args.workload}, {len(queries)} queries "
+          f"(batch size {args.batch_size}, up to {query_faults} faults/query)")
+    cache = stats["cache"]
+    print(f"served {stats['queries_served']} queries in {elapsed:.3f}s "
+          f"-> {report['throughput_qps']:,.0f} queries/s")
+    print(f"kernel calls: {stats['kernel_calls']} "
+          f"({stats['kernel_calls_saved']} saved by batching+caching); "
+          f"cache hit rate {cache['hit_rate']:.1%} "
+          f"({cache['hits']} hits, {cache['evictions']} evictions)")
+    print(f"reachable: {report['reachable_fraction']:.1%} of queries")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    snapshot = _resolve_snapshot(args)
+    engine = QueryEngine(snapshot, cache_size=0)
+    source = parse_node(args.source)
+    target = parse_node(args.target)
+    faults = _parse_fault_spec(args.faults_spec, snapshot.fault_model)
+    distance = engine.distance(source, target, faults)
+    audit = None
+    if args.audit:
+        try:
+            audit = engine.stretch_audit(source, target, faults)
+        except EngineError as error:
+            _LOGGER.error("%s", error)
+            return 2
+    if args.json:
+        document = {
+            "source": source, "target": target,
+            "faults": [list(f) if isinstance(f, tuple) else f for f in faults],
+            "fault_model": snapshot.fault_model,
+            "distance": None if math.isinf(distance) else distance,
+            "reachable": not math.isinf(distance),
+        }
+        if audit is not None:
+            document["audit"] = {
+                "original_distance": (None if math.isinf(audit.original_distance)
+                                      else audit.original_distance),
+                "stretch": audit.stretch,
+                "required_stretch": audit.required_stretch,
+                "within_budget": audit.within_budget,
+                "ok": audit.ok,
+            }
+        print(json.dumps(document, indent=2))
+        if audit is not None:
+            return 0 if audit.ok else 1
+    else:
+        shown = "unreachable" if math.isinf(distance) else f"{distance:.6g}"
+        print(f"dist_{{H \\ F}}({source}, {target}) = {shown} "
+              f"({len(faults)} {snapshot.fault_model} fault(s))")
+        if audit is not None:
+            base = ("unreachable" if math.isinf(audit.original_distance)
+                    else f"{audit.original_distance:.6g}")
+            print(f"original: {base}; stretch {audit.stretch:.4f} "
+                  f"(required <= {audit.required_stretch}"
+                  f"{'' if audit.within_budget else ', fault set over budget'}) "
+                  f"-> {'OK' if audit.ok else 'VIOLATED'}")
+            return 0 if audit.ok else 1
     return 0
 
 
@@ -181,6 +339,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", choices=["quick", "full"], default="quick")
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    experiment.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON instead of tables")
     experiment.add_argument("--csv-dir", help="also write each table as CSV into this directory")
     experiment.set_defaults(func=_cmd_experiment)
 
@@ -197,6 +357,57 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("output", help="output file (.json or edge list)")
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(func=_cmd_generate)
+
+    def add_build_options(command: argparse.ArgumentParser) -> None:
+        """Spanner-construction options shared by serve/query when the input
+        is a plain graph file rather than a prebuilt snapshot."""
+        command.add_argument("--stretch", "-k", type=float, default=3.0)
+        command.add_argument("--faults", "-f", type=int, default=0,
+                             help="fault budget used when building from a graph file")
+        command.add_argument("--fault-model", choices=["vertex", "edge"],
+                             default="vertex")
+        command.add_argument("--oracle", default=None,
+                             choices=["branch-and-bound", "exhaustive",
+                                      "greedy-path-packing"])
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a synthetic query workload through the batched engine")
+    serve.add_argument("input", help="snapshot JSON, or a graph file to build from")
+    add_build_options(serve)
+    serve.add_argument("--save-snapshot", help="write the (built) snapshot here")
+    serve.add_argument("--workload", choices=["uniform", "zipf", "churn"],
+                       default="zipf")
+    serve.add_argument("--queries", "-n", type=int, default=2000)
+    serve.add_argument("--batch-size", type=int, default=64)
+    serve.add_argument("--query-faults", type=int, default=None,
+                       help="max faults per query (default: the snapshot's f)")
+    serve.add_argument("--zipf-skew", type=float, default=1.1)
+    serve.add_argument("--fault-pool", type=int, default=8,
+                       help="number of concurrent fault sets in the zipf workload")
+    serve.add_argument("--sessions", type=int, default=20,
+                       help="number of sessions for the churn workload")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="LRU capacity in (source, faults) vectors; 0 disables")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json", action="store_true",
+                       help="emit the serving report as JSON")
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="answer one fault-tolerant distance query")
+    query.add_argument("input", help="snapshot JSON, or a graph file to build from")
+    add_build_options(query)
+    query.add_argument("--source", "-s", required=True)
+    query.add_argument("--target", "-t", required=True)
+    query.add_argument("--faults-spec", "-F", default="", metavar="FAULTS",
+                       help="comma-separated failed nodes, or u:v pairs for "
+                            "edge faults (e.g. '3,17' or '3:5,2:9')")
+    query.add_argument("--audit", action="store_true",
+                       help="also compare against the original graph "
+                            "(snapshot must carry it)")
+    query.add_argument("--json", action="store_true")
+    query.set_defaults(func=_cmd_query)
 
     lister = sub.add_parser("list", help="list experiments and workloads")
     lister.set_defaults(func=_cmd_list)

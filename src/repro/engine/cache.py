@@ -1,0 +1,125 @@
+"""Versioned LRU result cache for the query engine.
+
+The engine caches one *distance vector* per ``(source, canonical fault set)``
+pair: a single masked SSSP run answers every target for that pair, so the
+vector is the natural unit of reuse — a cache hit turns a whole query group
+into list lookups.
+
+Two invalidation mechanisms:
+
+* **LRU eviction** — bounded capacity, least-recently-*used* entry dropped
+  first (reads refresh recency);
+* **version invalidation** — every entry set is tied to one
+  :attr:`Graph.version`; :meth:`ResultCache.sync` clears the cache the
+  moment the served graph's version moves, so a mutated spanner can never
+  serve stale distances.
+
+All traffic is counted (hits / misses / evictions / invalidations) and
+surfaces in :meth:`QueryEngine.stats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+
+class ResultCache:
+    """A bounded LRU mapping with hit/miss/eviction/invalidation counters.
+
+    ``capacity <= 0`` disables caching entirely (every ``get`` misses, every
+    ``put`` is a no-op) — the engine uses this to run in pure streaming mode.
+    """
+
+    __slots__ = ("capacity", "version", "hits", "misses", "evictions",
+                 "invalidations", "_entries")
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self.version: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all."""
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------- lifecycle
+    def sync(self, version: int) -> None:
+        """Bind the cache to ``version``, clearing it if the version moved.
+
+        Call before every lookup round; cheap when nothing changed (one
+        comparison).
+        """
+        if self.version is None:
+            self.version = version
+            return
+        if version != self.version:
+            if self._entries:
+                self.invalidations += 1
+                self._entries.clear()
+            self.version = version
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    # --------------------------------------------------------------- traffic
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value for ``key`` (refreshing recency) or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key`` → ``value``, evicting the LRU entry when full."""
+        if self.capacity <= 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    # ----------------------------------------------------------------- stats
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot for the engine's stats report."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResultCache {len(self._entries)}/{self.capacity} "
+            f"hits={self.hits} misses={self.misses} evictions={self.evictions}>"
+        )

@@ -1,0 +1,290 @@
+"""The :class:`QueryEngine` facade: serve distance queries against a snapshot.
+
+One engine serves one :class:`~repro.engine.snapshot.SpannerSnapshot`.  Query
+types:
+
+* :meth:`QueryEngine.distance` — ``dist_{H \\ F}(s, t)`` for one query;
+* :meth:`QueryEngine.distances_batch` — a whole batch at once, grouped by
+  ``(source, fault set)`` so each group costs one masked kernel run;
+* :meth:`QueryEngine.connectivity` — reachability under faults;
+* :meth:`QueryEngine.stretch_audit` — compare the served (spanner) distance
+  against the original graph under the same fault set, i.e. measure the
+  stretch actually delivered (requires the snapshot to carry the original).
+
+Caching: per-``(source, canonical fault set)`` full distance vectors in a
+versioned LRU (:mod:`repro.engine.cache`).  A cache hit answers every target
+of a group with list lookups; a miss costs one full masked SSSP.  With the
+cache disabled (``cache_size=0``) groups run the early-exiting multi-target
+kernel instead — cheaper for one-shot traffic, nothing worth keeping.
+
+Answers are identical either way, and identical to the per-query reference
+(one Dijkstra per query over ``ExclusionView``): batching and caching are
+execution strategies, not approximations.  ``tests/test_engine.py`` holds
+this line property-style.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.engine.batch import (
+    MaskBuffer,
+    multi_target_group,
+    plan_batches,
+    sssp_group,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.snapshot import SpannerSnapshot
+from repro.faults.models import FaultSet, get_fault_model
+from repro.graph.core import Node
+from repro.graph.csr import CSRGraph
+
+_INF = math.inf
+_RELATIVE_TOLERANCE = 1e-9
+
+
+class EngineError(Exception):
+    """Raised on invalid engine requests (e.g. audits without the original)."""
+
+
+@dataclass(frozen=True)
+class StretchAudit:
+    """Outcome of one stretch audit: served distance vs ground truth.
+
+    ``stretch`` is ``dist_{H \\ F} / dist_{G \\ F}`` (1.0 when the pair is
+    disconnected in the surviving original — the demand is vacuous, exactly
+    as in Definition 2).  ``within_budget`` records whether the fault set
+    was within the snapshot's budget ``f``; only then does the construction
+    promise ``ok``.
+    """
+
+    source: Node
+    target: Node
+    faults: FaultSet
+    spanner_distance: float
+    original_distance: float
+    required_stretch: float
+    within_budget: bool
+
+    @property
+    def stretch(self) -> float:
+        if math.isinf(self.original_distance):
+            return 1.0
+        if self.original_distance == 0:
+            # source == target: both distances are 0, stretch is trivially 1.
+            return 1.0 if self.spanner_distance == 0 else _INF
+        return self.spanner_distance / self.original_distance
+
+    @property
+    def ok(self) -> bool:
+        """Whether the served distance honours the promised stretch."""
+        return self.stretch <= self.required_stretch * (1.0 + _RELATIVE_TOLERANCE)
+
+
+class QueryEngine:
+    """Serve fault-tolerant distance queries against one spanner snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        The prebuilt spanner (plus metadata, plus optionally the original
+        graph for audits).
+    cache_size:
+        LRU capacity in ``(source, fault set)`` distance vectors; ``0``
+        disables caching (pure streaming mode).
+    """
+
+    def __init__(self, snapshot: SpannerSnapshot, *, cache_size: int = 256,
+                 admit_threshold: int = 2):
+        self.snapshot = snapshot
+        self.model = get_fault_model(snapshot.fault_model)
+        self.cache = ResultCache(cache_size)
+        #: Admission policy: a full distance vector is computed and cached
+        #: only when the expected reuse of its ``(source, faults)`` key —
+        #: the group size, plus one if the key was requested before — reaches
+        #: this threshold.  Cold singleton groups run the cheaper early-exit
+        #: multi-target kernel instead, so one-shot traffic never pays for a
+        #: vector nobody will read again.  ``1`` caches unconditionally.
+        self.admit_threshold = admit_threshold
+        self.queries_served = 0
+        self.batches_planned = 0
+        self.groups_executed = 0
+        self.kernel_calls = 0
+        self.audits = 0
+        self.audit_kernel_calls = 0
+        self.busy_seconds = 0.0
+        self._buffers: Dict[int, MaskBuffer] = {}
+        self._seen_keys: set = set()
+
+    # ------------------------------------------------------------- internals
+    def _buffer_for(self, csr: CSRGraph) -> MaskBuffer:
+        """The reusable fault-mask buffer bound to ``csr``.
+
+        Snapshots are recompiled (new object) after removals, so buffers are
+        keyed by object identity; stale bindings are dropped.
+        """
+        key = id(csr)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            if len(self._buffers) > 4:
+                # Recompiled snapshots leave stale bindings behind; an engine
+                # only ever serves two live CSRs (spanner + original).
+                self._buffers.clear()
+            buffer = MaskBuffer(csr, self.model)
+            self._buffers[key] = buffer
+        return buffer
+
+    def _multi_target(self, csr: CSRGraph, source_index: int,
+                      canonical: FaultSet,
+                      target_indices: List) -> List[float]:
+        """Early-exit kernel run for the group; ``None`` targets answer inf."""
+        known = [t for t in target_indices if t is not None]
+        distances = multi_target_group(csr, self._buffer_for(csr), source_index,
+                                       canonical, known)
+        self.kernel_calls += 1
+        answered = iter(distances)
+        return [next(answered) if t is not None else _INF for t in target_indices]
+
+    def _serve_group(self, csr: CSRGraph, source: Node, canonical: FaultSet,
+                     targets: Sequence[Node]) -> List[float]:
+        """Distances for one ``(source, faults)`` group, in target order.
+
+        Both execution strategies — cached full vector and early-exit
+        multi-target run — produce bitwise-identical distances (enforced by
+        ``tests/test_engine.py``), so the admission choice is purely about
+        cost.
+        """
+        self.groups_executed += 1
+        index_of = csr.index_of
+        source_index = index_of.get(source)
+        if source_index is None:
+            return [_INF] * len(targets)
+        target_indices = [index_of.get(target) for target in targets]
+        if not self.cache.enabled:
+            return self._multi_target(csr, source_index, canonical, target_indices)
+        key = (source, canonical)
+        vector = self.cache.get(key)
+        if vector is None:
+            expected_reuse = len(targets) + (1 if key in self._seen_keys else 0)
+            if expected_reuse < self.admit_threshold:
+                # Cold singleton: remember the key so a repeat gets promoted,
+                # but serve it with the cheap early-exit kernel for now.
+                if len(self._seen_keys) > 16 * max(self.cache.capacity, 64):
+                    self._seen_keys.clear()
+                self._seen_keys.add(key)
+                return self._multi_target(csr, source_index, canonical,
+                                          target_indices)
+            vector = sssp_group(csr, self._buffer_for(csr), source_index,
+                                canonical)
+            self.kernel_calls += 1
+            self.cache.put(key, vector)
+        return [vector[t] if t is not None else _INF for t in target_indices]
+
+    # --------------------------------------------------------------- queries
+    def distance(self, source: Node, target: Node,
+                 faults: Iterable = ()) -> float:
+        """``dist_{H \\ F}(source, target)`` (``inf`` when unreachable/masked)."""
+        return self.distances_batch([(source, target, tuple(faults))])[0]
+
+    def distances_batch(self, queries: Sequence) -> List[float]:
+        """Answer a batch of ``(source, target, faults)`` queries.
+
+        Queries are grouped by ``(source, canonical fault set)``; each group
+        costs at most one kernel run (zero on a cache hit).  The returned
+        list is aligned with ``queries``.
+        """
+        started = time.perf_counter()
+        try:
+            plan = plan_batches(queries, self.model)
+            self.batches_planned += 1
+            self.queries_served += plan.num_queries
+            self.cache.sync(self.snapshot.spanner.version)
+            csr = self.snapshot.csr
+            results: List[float] = [_INF] * plan.num_queries
+            for group in plan.groups:
+                answers = self._serve_group(csr, group.source, group.faults,
+                                            group.targets)
+                for position, answer in zip(group.positions, answers):
+                    results[position] = answer
+            return results
+        finally:
+            self.busy_seconds += time.perf_counter() - started
+
+    def connectivity(self, source: Node, target: Node,
+                     faults: Iterable = ()) -> bool:
+        """Whether ``target`` is reachable from ``source`` in ``H \\ F``."""
+        return not math.isinf(self.distance(source, target, faults))
+
+    def stretch_audit(self, source: Node, target: Node,
+                      faults: Iterable = ()) -> StretchAudit:
+        """Compare the served distance against the original graph under ``F``.
+
+        Requires the snapshot to carry the original graph; raises
+        :class:`EngineError` otherwise.  The audit is the serving-layer twin
+        of Definition 2: customers see ``dist_{H \\ F}``, the audit reports
+        how far that is from the unserveable ground truth ``dist_{G \\ F}``.
+        """
+        original_csr = self.snapshot.original_csr
+        if original_csr is None:
+            raise EngineError(
+                "stretch_audit needs a snapshot built with the original graph "
+                "(SpannerSnapshot.original is None)"
+            )
+        faults = tuple(faults)
+        canonical = self.model.canonical(faults)
+        spanner_distance = self.distance(source, target, faults)
+        started = time.perf_counter()
+        try:
+            self.audits += 1
+            index_of = original_csr.index_of
+            source_index = index_of.get(source)
+            target_index = index_of.get(target)
+            if source_index is None or target_index is None:
+                original_distance = _INF
+            else:
+                original_distance = multi_target_group(
+                    original_csr, self._buffer_for(original_csr), source_index,
+                    canonical, [target_index])[0]
+                # Counted apart from kernel_calls: audits are ground-truth
+                # lookups, not serving work, and must not skew the
+                # batching-savings accounting below.
+                self.audit_kernel_calls += 1
+        finally:
+            self.busy_seconds += time.perf_counter() - started
+        return StretchAudit(
+            source=source,
+            target=target,
+            faults=canonical,
+            spanner_distance=spanner_distance,
+            original_distance=original_distance,
+            required_stretch=self.snapshot.stretch,
+            within_budget=len(canonical) <= self.snapshot.max_faults,
+        )
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        """Serving report: traffic, batching effectiveness, cache, throughput."""
+        saved = self.queries_served - self.kernel_calls
+        return {
+            "snapshot": self.snapshot.describe(),
+            "queries_served": self.queries_served,
+            "batches_planned": self.batches_planned,
+            "groups_executed": self.groups_executed,
+            "kernel_calls": self.kernel_calls,
+            "kernel_calls_saved": saved,
+            "audits": self.audits,
+            "audit_kernel_calls": self.audit_kernel_calls,
+            "busy_seconds": self.busy_seconds,
+            "queries_per_second": (self.queries_served / self.busy_seconds
+                                   if self.busy_seconds > 0 else 0.0),
+            "cache": self.cache.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QueryEngine {self.snapshot.fault_model} k={self.snapshot.stretch} "
+            f"served={self.queries_served} kernel_calls={self.kernel_calls}>"
+        )

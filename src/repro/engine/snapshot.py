@@ -1,0 +1,189 @@
+"""Immutable serving snapshots of a prebuilt (fault-tolerant) spanner.
+
+A :class:`SpannerSnapshot` is what a query service loads at startup: the
+spanner graph ``H``, optionally the original graph ``G`` it was built from
+(needed only by stretch audits), and the construction metadata — stretch
+``k``, fault budget ``f``, fault model, algorithm name.  The compiled CSR
+form is exposed via :attr:`SpannerSnapshot.csr` and cached on the graph
+itself, so repeated access is free.
+
+Snapshots serialise to a single self-describing JSON document (embedding the
+graphs via :func:`repro.graph.io.graph_to_json`), so a service can start
+from disk without re-running the construction; plain graph files are pulled
+in through :func:`repro.graph.io.load_graph_auto`, the same extension
+dispatch the CLI uses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.faults.models import get_fault_model
+from repro.graph.core import Graph, GraphError
+from repro.graph.csr import CSRGraph, csr_snapshot
+from repro.graph.io import graph_from_json, graph_to_json, load_graph_auto
+from repro.spanners.base import SpannerResult
+
+PathLike = Union[str, Path]
+
+#: The ``format`` field of the snapshot JSON document.
+SNAPSHOT_FORMAT = "repro-spanner-snapshot"
+
+
+@dataclass
+class SpannerSnapshot:
+    """A prebuilt spanner plus everything a query engine needs to serve it.
+
+    Treat instances as immutable: the engine keys its result cache on
+    :attr:`Graph.version` of :attr:`spanner`, so mutating the graph behind a
+    live engine invalidates cached answers (safely — the cache notices), but
+    defeats the point of a snapshot.
+    """
+
+    spanner: Graph
+    stretch: float
+    max_faults: int = 0
+    fault_model: str = "vertex"
+    algorithm: str = ""
+    original: Optional[Graph] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Fail fast on unknown fault models rather than at first query.
+        get_fault_model(self.fault_model)
+
+    # --------------------------------------------------------------- building
+    @classmethod
+    def from_result(cls, result: SpannerResult, *,
+                    keep_original: bool = True) -> "SpannerSnapshot":
+        """Wrap a :class:`~repro.spanners.base.SpannerResult` for serving."""
+        fault_model = result.fault_model if result.fault_model != "none" else "vertex"
+        return cls(
+            spanner=result.spanner,
+            stretch=result.stretch,
+            max_faults=result.max_faults,
+            fault_model=fault_model,
+            algorithm=result.algorithm,
+            original=result.original if keep_original else None,
+            metadata={"construction_seconds": result.construction_seconds,
+                      "edges_considered": result.edges_considered,
+                      **result.parameters},
+        )
+
+    @classmethod
+    def from_graph_files(cls, spanner_path: PathLike, *,
+                         original_path: Optional[PathLike] = None,
+                         stretch: float = 1.0, max_faults: int = 0,
+                         fault_model: str = "vertex",
+                         algorithm: str = "") -> "SpannerSnapshot":
+        """Build a snapshot from plain graph files (``.json`` or edge list)."""
+        return cls(
+            spanner=load_graph_auto(spanner_path),
+            stretch=stretch,
+            max_faults=max_faults,
+            fault_model=fault_model,
+            algorithm=algorithm,
+            original=(load_graph_auto(original_path)
+                      if original_path is not None else None),
+        )
+
+    # ------------------------------------------------------------ properties
+    @property
+    def csr(self) -> CSRGraph:
+        """Compiled CSR form of the spanner (cached on the graph)."""
+        return csr_snapshot(self.spanner)
+
+    @property
+    def original_csr(self) -> Optional[CSRGraph]:
+        """Compiled CSR form of the original graph, if it was kept."""
+        if self.original is None:
+            return None
+        return csr_snapshot(self.original)
+
+    def describe(self) -> Dict[str, Any]:
+        """Flat summary of the snapshot (for CLI output and stats reports)."""
+        return {
+            "algorithm": self.algorithm or "unknown",
+            "stretch": self.stretch,
+            "max_faults": self.max_faults,
+            "fault_model": self.fault_model,
+            "nodes": self.spanner.number_of_nodes(),
+            "edges": self.spanner.number_of_edges(),
+            "has_original": self.original is not None,
+            "original_edges": (self.original.number_of_edges()
+                               if self.original is not None else None),
+        }
+
+    # ------------------------------------------------------------------- I/O
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable document describing the snapshot."""
+        document: Dict[str, Any] = {
+            "format": SNAPSHOT_FORMAT,
+            "version": 1,
+            "stretch": self.stretch,
+            "max_faults": self.max_faults,
+            "fault_model": self.fault_model,
+            "algorithm": self.algorithm,
+            "metadata": self.metadata,
+            "spanner": graph_to_json(self.spanner),
+        }
+        if self.original is not None:
+            document["original"] = graph_to_json(self.original)
+        return document
+
+    @classmethod
+    def from_json(cls, document: Dict[str, Any]) -> "SpannerSnapshot":
+        """Rebuild a snapshot from :meth:`to_json` output."""
+        if document.get("format") != SNAPSHOT_FORMAT:
+            raise GraphError("not a repro-spanner-snapshot JSON document")
+        original = document.get("original")
+        return cls(
+            spanner=graph_from_json(document["spanner"]),
+            stretch=float(document["stretch"]),
+            max_faults=int(document["max_faults"]),
+            fault_model=document.get("fault_model", "vertex"),
+            algorithm=document.get("algorithm", ""),
+            original=graph_from_json(original) if original is not None else None,
+            metadata=dict(document.get("metadata", {})),
+        )
+
+    def save(self, path: PathLike, *, indent: int = 2) -> None:
+        """Write the snapshot as one JSON document."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=indent)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SpannerSnapshot":
+        """Load a snapshot written by :meth:`save`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+    @staticmethod
+    def is_snapshot_file(path: PathLike) -> bool:
+        """Cheaply detect whether ``path`` holds a snapshot document.
+
+        Used by the CLI to accept either a snapshot or a plain graph file in
+        the same positional argument.  Only the leading bytes are inspected.
+        """
+        path = Path(path)
+        if path.suffix != ".json":
+            return False
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                head = handle.read(256)
+        except OSError:
+            return False
+        return SNAPSHOT_FORMAT in head
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SpannerSnapshot {self.algorithm or 'unknown'} k={self.stretch} "
+            f"f={self.max_faults} ({self.fault_model}) "
+            f"n={self.spanner.number_of_nodes()} m={self.spanner.number_of_edges()}>"
+        )

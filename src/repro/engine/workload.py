@@ -1,0 +1,140 @@
+"""Synthetic query-traffic generators for the serving layer.
+
+Three traffic shapes, mirroring how real distance services are exercised:
+
+* :func:`uniform_workload` — the unstructured baseline: every query draws a
+  fresh source, target, and fault set.  Worst case for batching and caching
+  (nothing repeats), useful as the pessimistic bound in benchmarks;
+* :func:`zipf_workload` — Zipf-skewed sources over a shared pool of
+  concurrent fault sets: a few popular sources dominate, exactly the shape
+  batching exploits;
+* :func:`fault_churn_sessions` — session traffic: each session pins one
+  fault set (the currently failed elements) and issues many queries against
+  it before the fault set *churns* to the next session's.  This is the
+  paper's fault model as seen from a service: faults change slowly relative
+  to query rate.
+
+Everything is deterministic from a seed via :func:`repro.utils.rng.ensure_rng`;
+fault sets are drawn through the snapshot's fault model, so the same
+generators cover VFT and EFT traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.faults.models import FaultModel, get_fault_model
+from repro.graph.core import Graph, Node
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass(frozen=True)
+class Query:
+    """One distance query: ``dist_{H \\ F}(source, target)``.
+
+    Batching groups queries by ``(source, canonical(faults))`` — see
+    :func:`repro.engine.batch.plan_batches`.
+    """
+
+    source: Node
+    target: Node
+    faults: Tuple = ()
+
+
+def _draw_fault_set(elements: List, max_faults: int,
+                    rng: RandomSource) -> Tuple:
+    """A random fault set of size uniform in ``[0, max_faults]``."""
+    if max_faults <= 0 or not elements:
+        return ()
+    size = rng.randint(0, min(max_faults, len(elements)))
+    if size == 0:
+        return ()
+    return tuple(rng.sample(elements, size))
+
+
+def _traffic_population(graph: Graph, model: FaultModel) -> Tuple[List[Node], List]:
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise ValueError("workloads need a graph with at least two nodes")
+    return nodes, model.all_elements(graph)
+
+
+def uniform_workload(graph: Graph, num_queries: int, *, max_faults: int = 0,
+                     fault_model: "str | FaultModel" = "vertex",
+                     rng=None) -> List[Query]:
+    """Fully uniform traffic: fresh source/target/fault set per query."""
+    rng = ensure_rng(rng)
+    model = get_fault_model(fault_model)
+    nodes, elements = _traffic_population(graph, model)
+    queries = []
+    for _ in range(num_queries):
+        source, target = rng.sample(nodes, 2)
+        queries.append(Query(source, target,
+                             _draw_fault_set(elements, max_faults, rng)))
+    return queries
+
+
+def zipf_workload(graph: Graph, num_queries: int, *, skew: float = 1.1,
+                  max_faults: int = 0, fault_pool: int = 8,
+                  fault_model: "str | FaultModel" = "vertex",
+                  rng=None) -> List[Query]:
+    """Zipf-skewed sources over a small pool of concurrent fault sets.
+
+    Source popularity follows ``1 / rank^skew`` over a random permutation of
+    the nodes (so which nodes are popular is seed-dependent, not
+    label-dependent); targets stay uniform.  ``fault_pool`` pre-drawn fault
+    sets model the bounded number of concurrently failed configurations a
+    service sees — queries pick among them, which is what makes
+    ``(source, faults)`` groups repeat.
+    """
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    rng = ensure_rng(rng)
+    model = get_fault_model(fault_model)
+    nodes, elements = _traffic_population(graph, model)
+    ranked = list(nodes)
+    rng.shuffle(ranked)
+    cumulative = list(itertools.accumulate(
+        1.0 / (rank + 1) ** skew for rank in range(len(ranked))))
+    pool = [_draw_fault_set(elements, max_faults, rng)
+            for _ in range(max(1, fault_pool))]
+    queries = []
+    for _ in range(num_queries):
+        source = rng.weighted_choice(ranked, cum_weights=cumulative)
+        target = rng.choice(nodes)
+        while target == source:
+            target = rng.choice(nodes)
+        queries.append(Query(source, target, rng.choice(pool)))
+    return queries
+
+
+def fault_churn_sessions(graph: Graph, num_sessions: int,
+                         queries_per_session: int, *, max_faults: int = 1,
+                         fault_model: "str | FaultModel" = "vertex",
+                         rng=None) -> List[Query]:
+    """Session traffic: one fault set per session, churned between sessions.
+
+    Returns the sessions concatenated in order (the flat stream a service
+    would see).  Within a session every query shares the session's fault
+    set, so batches drawn from one session collapse into per-source groups.
+    """
+    rng = ensure_rng(rng)
+    model = get_fault_model(fault_model)
+    nodes, elements = _traffic_population(graph, model)
+    queries = []
+    for _ in range(num_sessions):
+        faults = _draw_fault_set(elements, max_faults, rng)
+        for _ in range(queries_per_session):
+            source, target = rng.sample(nodes, 2)
+            queries.append(Query(source, target, faults))
+    return queries
+
+
+def split_batches(queries: List[Query], batch_size: int) -> Iterable[List[Query]]:
+    """Chop a query stream into service-sized batches (the last may be short)."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    for start in range(0, len(queries), batch_size):
+        yield queries[start:start + batch_size]

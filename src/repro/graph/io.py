@@ -24,11 +24,19 @@ from repro.graph.core import Graph, GraphError
 PathLike = Union[str, Path]
 
 
-def _parse_node(token: str):
+def parse_node(token: str):
+    """Parse a node label token: an integer when possible, a string otherwise.
+
+    The convention of the edge-list reader, shared by every place user text
+    names a node (CLI fault specs, query endpoints).
+    """
     try:
         return int(token)
     except ValueError:
         return token
+
+
+_parse_node = parse_node
 
 
 # --------------------------------------------------------------------------
@@ -134,3 +142,29 @@ def read_json(path: PathLike) -> Graph:
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
         return graph_from_json(json.load(handle))
+
+
+# --------------------------------------------------------------------------
+# Extension dispatch
+# --------------------------------------------------------------------------
+
+def load_graph_auto(path: PathLike) -> Graph:
+    """Load a graph file, dispatching on extension (``.json`` vs edge list).
+
+    This is the one place the "``.json`` means JSON, anything else means edge
+    list" convention lives; the CLI and the engine's snapshot I/O both route
+    through it.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        return read_json(path)
+    return read_edge_list(path)
+
+
+def save_graph_auto(graph: Graph, path: PathLike) -> None:
+    """Write a graph file, dispatching on extension (``.json`` vs edge list)."""
+    path = Path(path)
+    if path.suffix == ".json":
+        write_json(graph, path)
+    else:
+        write_edge_list(graph, path)

@@ -26,6 +26,7 @@ from repro.paths.kernels import (
     bounded_dijkstra_csr,
     bounded_dijkstra_path_csr,
     sssp_dijkstra_csr,
+    multi_target_dijkstra_csr,
     bfs_distances_csr,
     bounded_bfs_csr,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "bounded_dijkstra_csr",
     "bounded_dijkstra_path_csr",
     "sssp_dijkstra_csr",
+    "multi_target_dijkstra_csr",
     "bfs_distances_csr",
     "bounded_bfs_csr",
 ]

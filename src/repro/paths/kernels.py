@@ -237,6 +237,93 @@ def sssp_dijkstra_csr(csr: CSRGraph, source: int,
     return dist, order
 
 
+def multi_target_dijkstra_csr(csr: CSRGraph, source: int, targets: List[int],
+                              vertex_mask: Optional[bytearray] = None,
+                              edge_mask: Optional[bytearray] = None
+                              ) -> List[float]:
+    """Distances from ``source`` to each of ``targets`` in one Dijkstra run.
+
+    The batched entry point of the query engine (:mod:`repro.engine.batch`):
+    a group of queries sharing ``(source, fault mask)`` is answered by one
+    search that stops as soon as the last live target settles, instead of one
+    :func:`bounded_dijkstra_csr` per query.  Expansion order, tie-breaking,
+    and pruning are identical to the single-target kernel with an infinite
+    budget, so each returned distance equals the per-query answer exactly
+    (``inf`` for unreachable or masked endpoints); duplicate targets are
+    allowed and each position is filled independently.
+    """
+    result = [_INF] * len(targets)
+    if vertex_mask is None:
+        visited = bytearray(len(csr.node_of))
+    else:
+        if vertex_mask[source]:
+            return result
+        visited = bytearray(vertex_mask)
+    # Positions still waiting on each target index; masked targets are left
+    # out (they can never settle — folded into visited — and stay inf).
+    pending: dict = {}
+    for position, target in enumerate(targets):
+        if visited[target]:
+            continue
+        if target == source:
+            result[position] = 0.0
+            continue
+        bucket = pending.get(target)
+        if bucket is None:
+            pending[target] = [position]
+        else:
+            bucket.append(position)
+    if not pending:
+        return result
+    remaining = len(pending)
+    indptr = csr._indptr_l
+    indices = csr._indices_l
+    weights = csr._weights_l
+    edge_ids = csr._edge_ids_l
+    get_extra = csr._extra.get
+    best = [_INF] * len(visited)
+    best[source] = 0.0
+    tiebreak = 0
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+    while heap:
+        dist, _, node = heappop(heap)
+        if visited[node]:
+            continue
+        positions = pending.get(node)
+        if positions is not None:
+            for position in positions:
+                result[position] = dist
+            del pending[node]
+            remaining -= 1
+            if not remaining:
+                return result
+        visited[node] = 1
+        for t in range(indptr[node], indptr[node + 1]):
+            neighbor = indices[t]
+            if visited[neighbor]:
+                continue
+            if edge_mask is not None and edge_mask[edge_ids[t]]:
+                continue
+            candidate = dist + weights[t]
+            if candidate < best[neighbor]:
+                best[neighbor] = candidate
+                tiebreak += 1
+                heappush(heap, (candidate, tiebreak, neighbor))
+        bucket = get_extra(node)
+        if bucket is not None:
+            for neighbor, weight, eid in bucket:
+                if visited[neighbor]:
+                    continue
+                if edge_mask is not None and edge_mask[eid]:
+                    continue
+                candidate = dist + weight
+                if candidate < best[neighbor]:
+                    best[neighbor] = candidate
+                    tiebreak += 1
+                    heappush(heap, (candidate, tiebreak, neighbor))
+    return result
+
+
 def bfs_distances_csr(csr: CSRGraph, source: int,
                       max_hops: Optional[int] = None,
                       vertex_mask: Optional[bytearray] = None,

@@ -122,13 +122,25 @@ class RandomSource:
         """Keep each element of ``population`` independently with probability ``p``."""
         return [item for item in population if self.bernoulli(p)]
 
-    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
-        """Choose one item with probability proportional to its weight."""
-        if len(items) != len(weights):
+    def weighted_choice(self, items: Sequence[T],
+                        weights: Optional[Sequence[float]] = None, *,
+                        cum_weights: Optional[Sequence[float]] = None) -> T:
+        """Choose one item with probability proportional to its weight.
+
+        Pass ``cum_weights`` (``itertools.accumulate(weights)``) instead of
+        ``weights`` when drawing many times from the same distribution: it
+        skips the O(n) cumulative-sum rebuild per draw while consuming the
+        identical random stream.
+        """
+        if (weights is None) == (cum_weights is None):
+            raise ValueError("provide exactly one of weights / cum_weights")
+        given = weights if weights is not None else cum_weights
+        if len(items) != len(given):
             raise ValueError("items and weights must have the same length")
         if not items:
             raise ValueError("cannot choose from an empty sequence")
-        return self._random.choices(items, weights=weights, k=1)[0]
+        return self._random.choices(items, weights=weights,
+                                    cum_weights=cum_weights, k=1)[0]
 
     def distinct_pairs(self, n: int, count: int) -> list[tuple[int, int]]:
         """Sample ``count`` distinct unordered pairs from ``range(n)``.

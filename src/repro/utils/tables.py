@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -84,6 +85,28 @@ class Table:
         for row in self._rendered():
             writer.writerow(row)
         return buffer.getvalue()
+
+    def to_json(self) -> dict:
+        """Machine-readable form: ``{"title", "columns", "rows"}``.
+
+        Rows keep their raw (unformatted) values with missing cells filled
+        as ``None``; values JSON cannot carry are stringified, so the
+        document always serialises (CI consumes this via ``experiment
+        --json``).
+        """
+        def safe(value: Any) -> Any:
+            try:
+                json.dumps(value)
+                return value
+            except (TypeError, ValueError):
+                return str(value)
+
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [{col: safe(row.get(col)) for col in self.columns}
+                     for row in self.rows],
+        }
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -116,3 +116,80 @@ class TestOtherCommands:
     def test_experiment_markdown_output(self, capsys):
         assert main(["experiment", "E10", "--markdown"]) == 0
         assert "|" in capsys.readouterr().out
+
+    def test_experiment_json_output(self, capsys):
+        assert main(["experiment", "E10", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["experiment"] == "E10"
+        assert document["columns"]
+        assert len(document["rows"]) >= 1
+        assert set(document["rows"][0]) == set(document["columns"])
+
+
+class TestServeAndQueryCommands:
+    def test_serve_builds_and_saves_snapshot(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        snap = tmp_path / "snap.json"
+        code = main(["serve", str(path), "-k", "3", "-f", "1",
+                     "--queries", "200", "--save-snapshot", str(snap)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "queries/s" in output and "cache hit rate" in output
+        from repro.engine.snapshot import SpannerSnapshot
+        assert SpannerSnapshot.is_snapshot_file(snap)
+        assert SpannerSnapshot.load(snap).max_faults == 1
+
+    def test_serve_from_snapshot_json_report(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        snap = tmp_path / "snap.json"
+        assert main(["serve", str(path), "-f", "1", "--queries", "100",
+                     "--save-snapshot", str(snap)]) == 0
+        capsys.readouterr()
+        for shape in ("uniform", "zipf", "churn"):
+            code = main(["serve", str(snap), "--workload", shape,
+                         "--queries", "100", "--json"])
+            assert code == 0
+            report = json.loads(capsys.readouterr().out)
+            assert report["queries_served"] == report["workload"]["queries"]
+            assert report["snapshot"]["max_faults"] == 1
+            assert report["throughput_qps"] > 0
+
+    def test_query_command_with_faults_and_audit(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        snap = tmp_path / "snap.json"
+        assert main(["serve", str(path), "-f", "1", "--queries", "10",
+                     "--save-snapshot", str(snap)]) == 0
+        capsys.readouterr()
+        nodes = list(graph.nodes())
+        code = main(["query", str(snap), "-s", str(nodes[0]),
+                     "-t", str(nodes[-1]), "-F", str(nodes[1]), "--audit"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "stretch" in output and "OK" in output
+
+    def test_query_audit_json_self_pair_and_exit_code(self, graph_file, tmp_path,
+                                                      capsys):
+        path, graph = graph_file
+        snap = tmp_path / "snap.json"
+        assert main(["serve", str(path), "-f", "1", "--queries", "10",
+                     "--save-snapshot", str(snap)]) == 0
+        capsys.readouterr()
+        node = str(next(iter(graph.nodes())))
+        # source == target must not crash the audit (0/0 stretch), and the
+        # JSON mode must carry the audit verdict in the exit code.
+        code = main(["query", str(snap), "-s", node, "-t", node,
+                     "--audit", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["audit"]["ok"] is True
+        assert document["audit"]["stretch"] == 1.0
+
+    def test_query_json_output_against_graph_file(self, graph_file, capsys):
+        path, graph = graph_file
+        nodes = list(graph.nodes())
+        code = main(["query", str(path), "-s", str(nodes[0]),
+                     "-t", str(nodes[1]), "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["reachable"] is True
+        assert document["distance"] is not None
