@@ -51,8 +51,14 @@ from repro.bounds import (
 )
 from repro.faults import VERTEX_FAULTS, EDGE_FAULTS, get_fault_model
 from repro.engine import QueryEngine, SpannerSnapshot
+from repro.runtime import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
@@ -82,5 +88,9 @@ __all__ = [
     "get_fault_model",
     "QueryEngine",
     "SpannerSnapshot",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "get_backend",
     "__version__",
 ]

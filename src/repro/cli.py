@@ -47,8 +47,9 @@ from repro.graph.io import load_graph_auto, parse_node, save_graph_auto
 from repro.graph.products import relabel_product_nodes
 from repro.spanners.ft_greedy import ft_greedy_spanner
 from repro.spanners.greedy import greedy_spanner
-from repro.spanners.verify import is_ft_spanner, is_spanner, stretch_of
+from repro.spanners.verify import STRETCH_TOLERANCE, is_ft_spanner, stretch_of
 from repro.utils.logging import configure_cli_logging, get_logger
+from repro.utils.tables import Table
 
 _LOGGER = get_logger("cli")
 
@@ -76,22 +77,68 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_report_table(args: argparse.Namespace, *, mode: str, checked,
+                         worst: float, ok: bool, witness=None) -> Table:
+    """One-row result table shared by the text and ``--json`` verify output."""
+    table = Table(
+        columns=["fault_model", "max_faults", "mode", "fault_sets_checked",
+                 "worst_stretch", "required_stretch", "ok", "witness"],
+        title="repro-spanner verify",
+    )
+    table.add_row({
+        "fault_model": args.fault_model if args.faults > 0 else None,
+        "max_faults": args.faults,
+        "mode": mode,
+        "fault_sets_checked": checked,
+        "worst_stretch": worst,
+        "required_stretch": args.stretch,
+        "ok": ok,
+        # `is not None`: the empty fault set is a legitimate witness (the
+        # subgraph fails the plain stretch bound) and must not read as
+        # "no witness recorded".
+        "witness": sorted(witness, key=repr) if witness is not None else None,
+    })
+    return table
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     original = load_graph_auto(args.original)
     subgraph = load_graph_auto(args.subgraph)
     if args.faults > 0:
         report = is_ft_spanner(original, subgraph, args.stretch, args.faults,
                                fault_model=args.fault_model, method=args.method,
-                               samples=args.samples, rng=args.seed)
+                               samples=args.samples, rng=args.seed,
+                               workers=args.workers, backend=args.backend)
+        table = _verify_report_table(
+            args, mode="exhaustive" if report.exhaustive else "sampled",
+            checked=report.fault_sets_checked, worst=report.worst_stretch,
+            ok=report.ok, witness=report.violating_fault_set)
+        if args.json:
+            print(json.dumps({"command": "verify", "original": args.original,
+                              "subgraph": args.subgraph, "seed": args.seed,
+                              "workers": args.workers, "verdict": report.ok,
+                              **table.to_json()}, indent=2))
+            return 0 if report.ok else 1
         print(f"fault model: {report.fault_model}, f={report.max_faults}, "
               f"checked {report.fault_sets_checked} fault sets "
-              f"({'exhaustive' if report.exhaustive else 'sampled'})")
+              f"({'exhaustive' if report.exhaustive else 'sampled'}, "
+              f"{args.workers} worker(s))")
         print(f"worst stretch observed: {report.worst_stretch:.4f} "
               f"(required <= {args.stretch})")
         print("VERDICT:", "OK" if report.ok else "VIOLATED")
         return 0 if report.ok else 1
-    ok = is_spanner(original, subgraph, args.stretch)
-    print(f"stretch: {stretch_of(original, subgraph):.4f} (required <= {args.stretch})")
+    worst = stretch_of(original, subgraph, workers=args.workers,
+                       backend=args.backend)
+    ok = worst <= args.stretch * (1.0 + STRETCH_TOLERANCE)
+    if args.json:
+        table = _verify_report_table(args, mode="stretch", checked=None,
+                                     worst=worst, ok=ok)
+        print(json.dumps({"command": "verify", "original": args.original,
+                          "subgraph": args.subgraph, "seed": args.seed,
+                          "workers": args.workers, "verdict": ok,
+                          **table.to_json()}, indent=2))
+        return 0 if ok else 1
+    print(f"stretch: {worst:.4f} (required <= {args.stretch})")
     print("VERDICT:", "OK" if ok else "VIOLATED")
     return 0 if ok else 1
 
@@ -103,7 +150,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         idents = [args.ident]
     documents = []
     for ident in idents:
-        table = run_experiment(ident, scale=args.scale, rng=args.seed)
+        table = run_experiment(ident, scale=args.scale, rng=args.seed,
+                               workers=args.workers)
         if args.json:
             documents.append({"experiment": ident.upper(), "scale": args.scale,
                               "seed": args.seed, **table.to_json()})
@@ -332,12 +380,24 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--method", choices=["auto", "exhaustive", "sampled"], default="auto")
     verify.add_argument("--samples", type=int, default=100)
     verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--workers", type=int, default=1,
+                        help="shard the verification sweep over this many "
+                             "worker processes (results are bit-identical)")
+    verify.add_argument("--backend", choices=["auto", "serial", "process"],
+                        default="auto",
+                        help="execution backend (auto: process pool when "
+                             "--workers > 1)")
+    verify.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
     verify.set_defaults(func=_cmd_verify)
 
     experiment = sub.add_parser("experiment", help="run a registered experiment (E1..E10)")
     experiment.add_argument("ident", help="experiment id (E1..E10) or 'all'")
     experiment.add_argument("--scale", choices=["quick", "full"], default="quick")
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--workers", type=int, default=1,
+                            help="shard verification-heavy experiments (E8/E9) "
+                                 "over this many worker processes")
     experiment.add_argument("--markdown", action="store_true", help="emit markdown tables")
     experiment.add_argument("--json", action="store_true",
                             help="emit machine-readable JSON instead of tables")

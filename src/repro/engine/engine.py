@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.batch import (
     MaskBuffer,
@@ -41,6 +41,9 @@ from repro.engine.snapshot import SpannerSnapshot
 from repro.faults.models import FaultSet, get_fault_model
 from repro.graph.core import Node
 from repro.graph.csr import CSRGraph
+from repro.paths.kernels import multi_target_dijkstra_csr
+from repro.runtime.backend import BackendLike, SerialBackend, get_backend
+from repro.runtime.shard import split_sequence
 
 _INF = math.inf
 _RELATIVE_TOLERANCE = 1e-9
@@ -84,6 +87,47 @@ class StretchAudit:
         return self.stretch <= self.required_stretch * (1.0 + _RELATIVE_TOLERANCE)
 
 
+@dataclass(frozen=True)
+class _AuditContext:
+    """Picklable payload for sharded audit sweeps (shipped once per worker)."""
+
+    csr_h: CSRGraph
+    csr_g: CSRGraph
+    fault_model: str
+
+
+def _audit_chunk(ctx: _AuditContext,
+                 chunk: List) -> Tuple[List[Tuple[float, float]], int, int]:
+    """Resolve one chunk of ``(source, target, canonical faults)`` audits.
+
+    Returns the ``(spanner_distance, original_distance)`` pairs in request
+    order plus the spanner / original kernel-run counts — the workers'
+    contribution to the engine counters.  Uses the same early-exiting
+    multi-target kernel as the in-process path, so distances are
+    bit-identical to :meth:`QueryEngine.stretch_audit`.
+    """
+    model = get_fault_model(ctx.fault_model)
+    calls = [0, 0]  # [spanner, original]
+    results: List[Tuple[float, float]] = []
+    for source, target, faults in chunk:
+        pair = []
+        for side, csr in enumerate((ctx.csr_h, ctx.csr_g)):
+            source_index = csr.index_of.get(source)
+            target_index = csr.index_of.get(target)
+            if source_index is None or target_index is None:
+                pair.append(_INF)
+                continue
+            mask = model.new_mask(csr)
+            for index in model.mask_indices(csr, faults):
+                mask[index] = 1
+            vertex_mask, edge_mask = model.kernel_masks(mask)
+            pair.append(multi_target_dijkstra_csr(
+                csr, source_index, [target_index], vertex_mask, edge_mask)[0])
+            calls[side] += 1
+        results.append((pair[0], pair[1]))
+    return results, calls[0], calls[1]
+
+
 class QueryEngine:
     """Serve fault-tolerant distance queries against one spanner snapshot.
 
@@ -95,13 +139,19 @@ class QueryEngine:
     cache_size:
         LRU capacity in ``(source, fault set)`` distance vectors; ``0``
         disables caching (pure streaming mode).
+    backend:
+        Execution backend (:func:`repro.runtime.get_backend` spec) used by
+        :meth:`stretch_audit_batch` to shard audit sweeps; serving-path
+        queries always run in-process.  Defaults to serial.
     """
 
     def __init__(self, snapshot: SpannerSnapshot, *, cache_size: int = 256,
-                 admit_threshold: int = 2):
+                 admit_threshold: int = 2, backend: BackendLike = None,
+                 workers: int = 1):
         self.snapshot = snapshot
         self.model = get_fault_model(snapshot.fault_model)
         self.cache = ResultCache(cache_size)
+        self.backend = get_backend(backend, workers)
         #: Admission policy: a full distance vector is computed and cached
         #: only when the expected reuse of its ``(source, faults)`` key —
         #: the group size, plus one if the key was requested before — reaches
@@ -263,6 +313,61 @@ class QueryEngine:
             required_stretch=self.snapshot.stretch,
             within_budget=len(canonical) <= self.snapshot.max_faults,
         )
+
+    def stretch_audit_batch(self, requests: Sequence) -> List[StretchAudit]:
+        """Audit a whole batch of ``(source, target, faults)`` requests.
+
+        With the engine's default serial backend this is a plain loop over
+        :meth:`stretch_audit` (counters and cache behave exactly as per-call
+        audits).  With a pooled backend the requests shard across workers —
+        each worker resolves both sides of its audits with the same masked
+        multi-target kernel, so every :class:`StretchAudit` field is
+        identical to the serial path.  Counter-merge rule for pooled runs:
+        the batch planner and result cache are bypassed, so each audit
+        counts one served query, one spanner kernel call, and one audit
+        kernel call, while ``batches_planned``/``groups_executed`` are left
+        untouched.
+        """
+        original_csr = self.snapshot.original_csr
+        if original_csr is None:
+            raise EngineError(
+                "stretch_audit needs a snapshot built with the original graph "
+                "(SpannerSnapshot.original is None)"
+            )
+        if isinstance(self.backend, SerialBackend):
+            return [self.stretch_audit(source, target, faults)
+                    for source, target, faults in requests]
+        normalized = [(source, target, self.model.canonical(faults))
+                      for source, target, faults in requests]
+        started = time.perf_counter()
+        try:
+            context = _AuditContext(csr_h=self.snapshot.csr, csr_g=original_csr,
+                                    fault_model=self.model.name)
+            distance_pairs: List[Tuple[float, float]] = []
+            for chunk_results, spanner_calls, original_calls in self.backend.map(
+                    _audit_chunk,
+                    split_sequence(normalized, self.backend.workers),
+                    context=context):
+                self.kernel_calls += spanner_calls
+                self.audit_kernel_calls += original_calls
+                distance_pairs.extend(chunk_results)
+            self.queries_served += len(normalized)
+            self.audits += len(normalized)
+            return [
+                StretchAudit(
+                    source=source,
+                    target=target,
+                    faults=canonical,
+                    spanner_distance=spanner_distance,
+                    original_distance=original_distance,
+                    required_stretch=self.snapshot.stretch,
+                    within_budget=len(canonical) <= self.snapshot.max_faults,
+                )
+                for (source, target, canonical), (spanner_distance, original_distance)
+                in zip(normalized, distance_pairs)
+            ]
+        finally:
+            self.busy_seconds += time.perf_counter() - started
 
     # ----------------------------------------------------------------- stats
     def stats(self) -> Dict[str, Any]:

@@ -50,8 +50,13 @@ class Config:
                    verify_samples=60)
 
 
-def run(config: Optional[Config] = None, *, rng=0) -> Table:
-    """Run E8 and return the result table."""
+def run(config: Optional[Config] = None, *, rng=0, workers: int = 1) -> Table:
+    """Run E8 and return the result table.
+
+    ``workers`` shards each trial's fault-tolerance check (the sampled
+    ``is_ft_spanner`` sweep) across a process pool; the table is identical
+    for any worker count.
+    """
     config = config or Config.quick()
     source = ensure_rng(rng)
     graph = get_workload(config.workload).instantiate(source.spawn("graph"))
@@ -71,6 +76,7 @@ def run(config: Optional[Config] = None, *, rng=0) -> Table:
                 graph, result.spanner, config.stretch, f, fault_model="vertex",
                 method="sampled", samples=config.verify_samples,
                 rng=source.spawn("verify", f, oracle_name),
+                workers=workers,
             )
             table.add_row({
                 "f": f,

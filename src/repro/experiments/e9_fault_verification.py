@@ -49,8 +49,13 @@ class Config:
         )
 
 
-def run(config: Optional[Config] = None, *, rng=0) -> Table:
-    """Run E9 and return the result table."""
+def run(config: Optional[Config] = None, *, rng=0, workers: int = 1) -> Table:
+    """Run E9 and return the result table.
+
+    ``workers`` shards each trial's verification sweep (exhaustive or
+    sampled) and the follow-up adversarial search across a process pool;
+    verdicts, witnesses, and counters are identical for any worker count.
+    """
     config = config or Config.quick()
     source = ensure_rng(rng)
     table = Table(
@@ -69,6 +74,7 @@ def run(config: Optional[Config] = None, *, rng=0) -> Table:
                     samples=config.sampled_checks,
                     exhaustive_limit=config.exhaustive_limit,
                     rng=source.spawn("verify", name, f, label),
+                    workers=workers,
                 )
                 worst = report.worst_stretch
                 if report.ok and not report.exhaustive:
@@ -78,6 +84,7 @@ def run(config: Optional[Config] = None, *, rng=0) -> Table:
                         graph, result.spanner, "vertex", f,
                         method="sampled", samples=config.sampled_checks,
                         rng=source.spawn("adv", name, f, label),
+                        workers=workers,
                     )
                     worst = max(worst, adversarial)
                 table.add_row({

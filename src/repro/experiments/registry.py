@@ -7,6 +7,7 @@ to keep import costs low; :func:`get_experiment` imports the module on demand.
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -22,10 +23,20 @@ class ExperimentSpec:
     claim: str
     module: str
 
-    def run(self, *, scale: str = "quick", rng=0, **kwargs) -> Table:
-        """Import the experiment module and run it at the requested scale."""
+    def run(self, *, scale: str = "quick", rng=0, workers: int = 1,
+            **kwargs) -> Table:
+        """Import the experiment module and run it at the requested scale.
+
+        ``workers`` fans the experiment's verification sweeps out through
+        :mod:`repro.runtime` where the driver supports it (its ``run``
+        accepts a ``workers`` keyword — e.g. E8 and E9, whose dominant cost
+        is fault-set checking); drivers without the keyword run serially and
+        the setting is ignored.  Results are identical either way.
+        """
         mod = importlib.import_module(self.module)
         config = mod.Config.quick() if scale == "quick" else mod.Config.full()
+        if "workers" in inspect.signature(mod.run).parameters:
+            kwargs.setdefault("workers", workers)
         return mod.run(config, rng=rng, **kwargs)
 
 
@@ -103,6 +114,8 @@ def get_experiment(ident: str) -> ExperimentSpec:
         ) from None
 
 
-def run_experiment(ident: str, *, scale: str = "quick", rng=0, **kwargs) -> Table:
+def run_experiment(ident: str, *, scale: str = "quick", rng=0,
+                   workers: int = 1, **kwargs) -> Table:
     """Run an experiment by identifier and return its result table."""
-    return get_experiment(ident).run(scale=scale, rng=rng, **kwargs)
+    return get_experiment(ident).run(scale=scale, rng=rng, workers=workers,
+                                     **kwargs)

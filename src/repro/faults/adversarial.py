@@ -6,19 +6,32 @@ large ones) the fault set maximising the worst pairwise stretch of
 ``H \\ F`` relative to ``G \\ F``.  Experiment E9 uses them to show that the
 FT-greedy output really keeps its stretch under the worst faults while
 non-fault-tolerant baselines do not.
+
+The search is embarrassingly parallel over candidate fault sets, so
+:func:`worst_case_fault_set` and :func:`random_fault_trial` accept
+``workers`` / ``backend`` and shard their candidate list through
+:mod:`repro.runtime`.  Results are bit-identical to the serial scan: chunks
+are contiguous slices of the candidate order, merged with the serial
+strict-``>`` update rule, and a chunk that hits the stop condition (infinite
+stretch, or the ``stop_stretch`` refutation threshold) cancels every chunk
+after it — never one before it.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.faults.enumeration import enumerate_fault_sets, sample_fault_sets
 from repro.faults.models import FaultModel, FaultSet, get_fault_model
 from repro.graph.core import Graph, Node
-from repro.graph.csr import csr_snapshot
+from repro.graph.csr import CSRGraph, csr_snapshot
 from repro.paths.dijkstra import dijkstra_distances
 from repro.paths.kernels import sssp_dijkstra_csr
+from repro.runtime.backend import BackendLike, get_backend
+from repro.runtime.merge import ChunkArgmax, merge_argmax
+from repro.runtime.shard import chunk_size_for, iter_chunks
 from repro.utils.rng import ensure_rng
 
 
@@ -41,7 +54,8 @@ def stretch_under_faults(original: Graph, spanner: Graph,
     model = get_fault_model(fault_model)
     fault_list = list(faults)
     if isinstance(original, Graph) and isinstance(spanner, Graph):
-        return _stretch_under_faults_csr(original, spanner, model, fault_list, pairs)
+        return stretch_between_csr(csr_snapshot(original), csr_snapshot(spanner),
+                                   model, fault_list, pairs)
     faulted_original = model.apply(original, fault_list)
     faulted_spanner = model.apply(spanner, fault_list)
 
@@ -74,17 +88,27 @@ def stretch_under_faults(original: Graph, spanner: Graph,
     return worst
 
 
-def _stretch_under_faults_csr(original: Graph, spanner: Graph, model: FaultModel,
-                              fault_list: List,
-                              pairs: Optional[List[Tuple[Node, Node]]]) -> float:
-    """Mask-based twin of :func:`stretch_under_faults` for plain graphs.
+def stretch_between_csr(csr_g: CSRGraph, csr_h: CSRGraph, model: FaultModel,
+                        fault_list: List,
+                        pairs: Optional[List[Tuple[Node, Node]]] = None,
+                        *, sources: Optional[List[Node]] = None,
+                        restrict: Optional[Dict[Node, frozenset]] = None) -> float:
+    """Mask-based stretch of ``csr_h \\ F`` w.r.t. ``csr_g \\ F``.
 
-    Applies the fault set as kernel masks over the cached CSR snapshots of
-    both graphs instead of building two :class:`ExclusionView` wrappers, and
-    compares distance arrays directly — no per-source dict materialisation.
+    Pure-CSR twin of :func:`stretch_under_faults`: applies the fault set as
+    kernel masks over the two snapshots instead of building two
+    :class:`ExclusionView` wrappers, and compares distance arrays directly —
+    no per-source dict materialisation.  Operating on snapshots alone is what
+    lets worker processes evaluate fault sets against a context shipped once
+    (:mod:`repro.runtime.backend`) and still produce the exact serial floats:
+    ``csr_g.node_of`` preserves the graph's node insertion order, so the
+    source sweep is identical.
+
+    ``sources`` / ``restrict`` override the default all-pairs sweep without
+    going through ``pairs`` — this is how sharded source sweeps hand one
+    chunk of sources (and a prebuilt source → allowed-targets map) to each
+    worker.
     """
-    csr_g = csr_snapshot(original)
-    csr_h = csr_snapshot(spanner)
     vertex = model.uses_vertex_mask
     mask_g = model.new_mask(csr_g)
     for index in model.mask_indices(csr_g, fault_list):
@@ -99,14 +123,13 @@ def _stretch_under_faults_csr(original: Graph, spanner: Graph, model: FaultModel
     g_index = csr_g.index_of
     h_index = csr_h.index_of
 
-    restrict: Optional[Dict[Node, set]] = None
     if pairs is not None:
         restrict = {}
         for u, v in pairs:
             restrict.setdefault(u, set()).add(v)
         sources = sorted({pair[0] for pair in pairs}, key=repr)
-    else:
-        sources = list(original.nodes())
+    elif sources is None:
+        sources = node_of_g
 
     worst = 1.0
     for source in sources:
@@ -137,11 +160,49 @@ def _stretch_under_faults_csr(original: Graph, spanner: Graph, model: FaultModel
     return worst
 
 
+@dataclass(frozen=True)
+class _SearchContext:
+    """Picklable payload shipped once per worker for the adversarial search."""
+
+    csr_g: CSRGraph
+    csr_h: CSRGraph
+    fault_model: str
+    #: Stop scanning once a fault set's stretch strictly exceeds this (the
+    #: "first refutation" early-cancel); ``inf`` always stops the scan.
+    stop_stretch: Optional[float]
+
+
+def _search_chunk(ctx: _SearchContext, chunk: List) -> ChunkArgmax:
+    """Scan one chunk of candidate fault sets for the running maximum.
+
+    Mirrors the serial loop exactly: strict-``>`` updates, stop at the first
+    infinite stretch or at the first stretch beyond ``ctx.stop_stretch``.
+    """
+    model = get_fault_model(ctx.fault_model)
+    stop = ctx.stop_stretch
+    best: Optional[FaultSet] = None
+    best_value = 0.0
+    checked = 0
+    for faults in chunk:
+        checked += 1
+        value = stretch_between_csr(ctx.csr_g, ctx.csr_h, model, list(faults))
+        if value > best_value:
+            best_value = value
+            best = model.canonical(faults)
+        if value == math.inf or (stop is not None and value > stop):
+            return ChunkArgmax(checked=checked, best=best,
+                               best_value=best_value, stopped=True)
+    return ChunkArgmax(checked=checked, best=best, best_value=best_value)
+
+
 def worst_case_fault_set(original: Graph, spanner: Graph,
                          fault_model: "str | FaultModel", max_faults: int,
                          *, method: str = "auto",
                          samples: int = 200, rng=None,
-                         exhaustive_limit: int = 200_000
+                         exhaustive_limit: int = 200_000,
+                         stop_stretch: Optional[float] = None,
+                         workers: int = 1,
+                         backend: BackendLike = None
                          ) -> Tuple[FaultSet, float]:
     """Find a fault set (approximately) maximising the stretch of the spanner.
 
@@ -152,6 +213,15 @@ def worst_case_fault_set(original: Graph, spanner: Graph,
         ``"sampled"`` evaluates ``samples`` random fault sets of exactly
         ``max_faults`` elements; ``"auto"`` picks exhaustive when the number of
         fault sets is below ``exhaustive_limit``.
+    stop_stretch:
+        Stop the search at the first fault set whose stretch strictly exceeds
+        this value (a *refutation* — e.g. pass the required stretch ``k`` to
+        stop as soon as the spanner property is disproven).  An infinite
+        stretch always stops the search, as before.
+    workers / backend:
+        Shard the candidate scan through :func:`repro.runtime.get_backend`.
+        Chunks past the first refutation are cancelled; the returned fault
+        set and stretch are bit-identical to the serial scan.
 
     Returns
     -------
@@ -170,9 +240,31 @@ def worst_case_fault_set(original: Graph, spanner: Graph,
 
     if method == "exhaustive":
         candidates: Iterable = enumerate_fault_sets(elements, max_faults)
+        total = num_sets
     else:
         candidates = sample_fault_sets(original, model, max_faults, samples, rng=rng)
+        total = len(candidates)
 
+    if not (isinstance(original, Graph) and isinstance(spanner, Graph)):
+        # View inputs have no CSR snapshot; keep the plain serial scan.
+        return _worst_case_serial(original, spanner, model, candidates,
+                                  stop_stretch)
+
+    resolved = get_backend(backend, workers)
+    context = _SearchContext(csr_g=csr_snapshot(original),
+                             csr_h=csr_snapshot(spanner),
+                             fault_model=model.name,
+                             stop_stretch=stop_stretch)
+    chunks = iter_chunks(candidates, chunk_size_for(total, resolved.workers))
+    outcome = merge_argmax(resolved.imap(_search_chunk, chunks, context=context))
+    if outcome.best is None:
+        return model.canonical(()), 0.0
+    return outcome.best, outcome.best_value
+
+
+def _worst_case_serial(original, spanner, model: FaultModel, candidates: Iterable,
+                       stop_stretch: Optional[float]) -> Tuple[FaultSet, float]:
+    """Reference scan for graph views that cannot be snapshotted/shipped."""
     worst_set: FaultSet = model.canonical(())
     worst_stretch = 0.0
     for faults in candidates:
@@ -180,17 +272,50 @@ def worst_case_fault_set(original: Graph, spanner: Graph,
         if stretch > worst_stretch:
             worst_stretch = stretch
             worst_set = model.canonical(faults)
-            if worst_stretch == math.inf:
-                break
+        if worst_stretch == math.inf or (stop_stretch is not None
+                                         and stretch > stop_stretch):
+            break
     return worst_set, worst_stretch
+
+
+@dataclass(frozen=True)
+class _TrialContext:
+    """Picklable payload for sharded random-fault trials."""
+
+    csr_g: CSRGraph
+    csr_h: CSRGraph
+    fault_model: str
+
+
+def _trial_chunk(ctx: _TrialContext, chunk: List) -> List[float]:
+    model = get_fault_model(ctx.fault_model)
+    return [stretch_between_csr(ctx.csr_g, ctx.csr_h, model, list(faults))
+            for faults in chunk]
 
 
 def random_fault_trial(original: Graph, spanner: Graph,
                        fault_model: "str | FaultModel", max_faults: int,
-                       trials: int, *, rng=None) -> List[float]:
-    """Stretch of the spanner under ``trials`` random fault sets (one value per trial)."""
+                       trials: int, *, rng=None, workers: int = 1,
+                       backend: BackendLike = None) -> List[float]:
+    """Stretch of the spanner under ``trials`` random fault sets (one value per trial).
+
+    Fault sets are sampled up front in the calling process (so the random
+    stream is untouched by parallelism); the stretch evaluations shard
+    across the backend and concatenate back in trial order.
+    """
     rng = ensure_rng(rng)
     model = get_fault_model(fault_model)
     fault_sets = sample_fault_sets(original, model, max_faults, trials, rng=rng)
-    return [stretch_under_faults(original, spanner, model, faults)
-            for faults in fault_sets]
+    if not (isinstance(original, Graph) and isinstance(spanner, Graph)):
+        return [stretch_under_faults(original, spanner, model, faults)
+                for faults in fault_sets]
+    resolved = get_backend(backend, workers)
+    context = _TrialContext(csr_g=csr_snapshot(original),
+                            csr_h=csr_snapshot(spanner),
+                            fault_model=model.name)
+    chunks = iter_chunks(fault_sets, chunk_size_for(len(fault_sets),
+                                                    resolved.workers))
+    values: List[float] = []
+    for chunk_values in resolved.map(_trial_chunk, chunks, context=context):
+        values.extend(chunk_values)
+    return values

@@ -44,7 +44,8 @@ def count_fault_sets(num_elements: int, max_faults: int,
 
 def sample_fault_sets(graph, fault_model: "str | FaultModel", max_faults: int,
                       samples: int, *, rng=None,
-                      exact_size: bool = True) -> List[FaultSet]:
+                      exact_size: bool = True, unique: bool = False,
+                      max_attempts: Optional[int] = None) -> List[FaultSet]:
     """Sample random fault sets for stochastic verification (E9 on large instances).
 
     Parameters
@@ -53,18 +54,46 @@ def sample_fault_sets(graph, fault_model: "str | FaultModel", max_faults: int,
         If ``True`` every sampled set has exactly ``min(max_faults, available)``
         elements — the hardest case; otherwise the size is uniform in
         ``[0, max_faults]``.
+    unique:
+        Deduplicate: every returned fault set is distinct.  Duplicates are
+        rejected and redrawn with a bounded retry budget (``max_attempts``,
+        default ``20 * samples``), and the request is capped at the number of
+        distinct fault sets that exist, so the call always terminates; when
+        the retry budget runs out first, fewer than ``samples`` sets come
+        back.  The draw sequence is deterministic per seed either way, but
+        note that ``unique=True`` consumes the random stream differently
+        from ``unique=False``.
     """
     model = get_fault_model(fault_model)
     rng = ensure_rng(rng)
     elements = model.all_elements(graph)
+    if unique:
+        if exact_size:
+            distinct = math.comb(len(elements), min(max_faults, len(elements)))
+        else:
+            distinct = count_fault_sets(len(elements), max_faults)
+        target = min(samples, distinct)
+        budget = max_attempts if max_attempts is not None else 20 * samples
+        seen: set = set()
+    else:
+        target = samples
+        budget = samples
+        seen = None
     results: List[FaultSet] = []
-    for _ in range(samples):
+    attempts = 0
+    while len(results) < target and attempts < budget:
+        attempts += 1
         if exact_size:
             size = min(max_faults, len(elements))
         else:
             size = rng.randint(0, min(max_faults, len(elements)))
         chosen = rng.sample(elements, size) if size > 0 else []
-        results.append(model.canonical(chosen))
+        canonical = model.canonical(chosen)
+        if seen is not None:
+            if canonical in seen:
+                continue
+            seen.add(canonical)
+        results.append(canonical)
     return results
 
 

@@ -1,0 +1,52 @@
+"""Sharded execution runtime for the exponential sweeps.
+
+The verification, adversarial-search, and experiment layers all reduce to
+the same shape of work: a deterministic enumeration (fault sets, source
+vertices, trials) folded with a deterministic merge (verdict + witness +
+counters, or a running maximum).  This package factors that shape out:
+
+* :mod:`repro.runtime.backend` — where chunks run (:class:`SerialBackend`
+  inline, :class:`ProcessPoolBackend` across worker processes with the CSR
+  context shipped once per worker);
+* :mod:`repro.runtime.shard` — how sweeps split into balanced, contiguous,
+  order-preserving chunks;
+* :mod:`repro.runtime.merge` — how ordered chunk results fold back into the
+  exact serial answer (bit-identical verdicts and witnesses — the property
+  suite in ``tests/test_runtime.py`` enforces this).
+"""
+
+from repro.runtime.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+    usable_cpu_count,
+)
+from repro.runtime.merge import (
+    ChunkArgmax,
+    ChunkVerdict,
+    merge_argmax,
+    merge_verdicts,
+)
+from repro.runtime.shard import (
+    chunk_size_for,
+    iter_chunks,
+    plan_ranges,
+    split_sequence,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "get_backend",
+    "usable_cpu_count",
+    "ChunkVerdict",
+    "ChunkArgmax",
+    "merge_verdicts",
+    "merge_argmax",
+    "chunk_size_for",
+    "iter_chunks",
+    "plan_ranges",
+    "split_sequence",
+]

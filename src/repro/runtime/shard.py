@@ -1,0 +1,69 @@
+"""Auto-chunking shard planner: split sweeps into balanced, ordered chunks.
+
+The runtime's unit of distribution is a *chunk* — a contiguous slice of the
+deterministic enumeration order of some sweep (fault-set enumerations,
+source-vertex sweeps, ``(pair, fault set)`` grids).  Contiguity is what makes
+the parallel merges exact: the concatenation of the chunks *is* the serial
+iteration order, so "first violation across chunks consumed in order" is the
+same fault set the serial loop would have stopped at.
+
+Chunk sizing balances two costs: chunks far smaller than the work per worker
+waste IPC round-trips, chunks as large as ``total / workers`` lose both load
+balancing (stretch checks vary wildly in cost — early-exit kernels) and
+early-cancel granularity.  :func:`chunk_size_for` aims for a few chunks per
+worker, clamped by ``min_chunk``.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+#: Target number of chunks handed to each worker (load-balance granularity).
+_CHUNKS_PER_WORKER = 4
+
+
+def chunk_size_for(total: int, workers: int, *, min_chunk: int = 1,
+                   chunks_per_worker: int = _CHUNKS_PER_WORKER) -> int:
+    """Balanced chunk size for ``total`` items over ``workers`` workers."""
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if min_chunk < 1:
+        raise ValueError("min_chunk must be at least 1")
+    if total <= 0:
+        return min_chunk
+    target = -(-total // (workers * chunks_per_worker))  # ceil division
+    return max(min_chunk, target)
+
+
+def plan_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(start, stop)`` index ranges covering ``range(total)``."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    return [(start, min(start + chunk_size, total))
+            for start in range(0, max(total, 0), chunk_size)]
+
+
+def iter_chunks(items: Iterable, chunk_size: int) -> Iterator[list]:
+    """Yield successive lists of up to ``chunk_size`` items.
+
+    Lazy: pulls from ``items`` only as chunks are requested, so a serial
+    backend consuming an exponential enumeration never materialises more
+    than one chunk at a time.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    iterator = iter(items)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def split_sequence(items: Sequence, workers: int, *, min_chunk: int = 1,
+                   chunks_per_worker: int = _CHUNKS_PER_WORKER) -> List[Sequence]:
+    """Split a sequence into balanced contiguous chunks (order preserved)."""
+    size = chunk_size_for(len(items), workers, min_chunk=min_chunk,
+                          chunks_per_worker=chunks_per_worker)
+    return [items[start:stop] for start, stop in plan_ranges(len(items), size)]

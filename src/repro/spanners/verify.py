@@ -8,33 +8,73 @@ and every experiment ultimately defends itself by passing them.
 * :func:`is_ft_spanner` — Definition 2, checked either exhaustively over all
   fault sets of size ``≤ f`` (exponential, exact — used on small instances)
   or over a random sample of fault sets (one-sided: can only refute).
+
+Both the fault-set sweep of :func:`is_ft_spanner` and the source-vertex
+sweep of :func:`stretch_of` shard through :mod:`repro.runtime`: pass
+``workers``/``backend`` to fan the work out over a process pool.  Parallel
+runs are **bit-identical** to serial ones — same verdict, same worst
+stretch, same witness fault set, and the same ``fault_sets_checked`` counter
+(chunks are contiguous slices of the serial enumeration order, merged in
+order; chunks speculatively executed past the first violation are discarded,
+so the counter always means "the serial prefix up to the stopping point",
+never "work performed").  ``tests/test_runtime.py`` enforces the identity
+property-style for both fault models.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.faults.adversarial import stretch_under_faults
+from repro.faults.adversarial import stretch_between_csr, stretch_under_faults
 from repro.faults.enumeration import count_fault_sets, enumerate_fault_sets, sample_fault_sets
 from repro.faults.models import FaultModel, FaultSet, get_fault_model
 from repro.graph.core import Graph, Node
-from repro.graph.csr import csr_snapshot
+from repro.graph.csr import CSRGraph, csr_snapshot
 from repro.paths.dijkstra import dijkstra_distances
-from repro.paths.kernels import sssp_dijkstra_csr
+from repro.runtime.backend import BackendLike, get_backend
+from repro.runtime.merge import ChunkVerdict, merge_verdicts
+from repro.runtime.shard import chunk_size_for, iter_chunks, split_sequence
 
-_RELATIVE_TOLERANCE = 1e-9
+#: Relative slack on every stretch comparison, absorbing float noise in the
+#: distance sums.  The CLI reuses this so its verdicts match the library's.
+STRETCH_TOLERANCE = 1e-9
+
+_RELATIVE_TOLERANCE = STRETCH_TOLERANCE
+
+
+@dataclass(frozen=True)
+class _SweepContext:
+    """Picklable payload for the sharded per-source stretch sweep."""
+
+    csr_g: CSRGraph
+    csr_h: CSRGraph
+    #: ``None`` means "all targets"; otherwise source -> allowed target set.
+    restrict: Optional[Dict[Node, frozenset]]
+
+
+def _sweep_chunk(ctx: _SweepContext, sources: List[Node]) -> float:
+    """Worst stretch over one chunk of source vertices (no faults).
+
+    Delegates to :func:`stretch_between_csr` with an empty fault set so the
+    per-source target scan lives in exactly one place; an all-zero mask
+    gates nothing, so the floats match the unmasked kernels bit-for-bit.
+    """
+    return stretch_between_csr(ctx.csr_g, ctx.csr_h, get_fault_model("vertex"),
+                               [], sources=sources, restrict=ctx.restrict)
 
 
 def stretch_of(original: Graph, subgraph: Graph,
-               pairs: Optional[List[Tuple[Node, Node]]] = None) -> float:
+               pairs: Optional[List[Tuple[Node, Node]]] = None,
+               *, workers: int = 1, backend: BackendLike = None) -> float:
     """Worst stretch ``dist_H(s, t) / dist_G(s, t)`` over pairs connected in ``G``.
 
     Returns ``inf`` if some pair connected in ``original`` is disconnected in
-    ``subgraph`` and ``1.0`` for graphs with fewer than two nodes.
+    ``subgraph`` and ``1.0`` for graphs with fewer than two nodes.  The
+    per-source sweep shards across ``workers`` (the merge is a plain
+    maximum, so parallel results are bit-identical to serial).
     """
-    worst = 1.0
     sources: Iterable[Node]
     restrict = None
     if pairs is not None:
@@ -48,33 +88,25 @@ def stretch_of(original: Graph, subgraph: Graph,
     if isinstance(original, Graph) and isinstance(subgraph, Graph):
         # APSP sweep over the cached CSR snapshots: per source two kernel
         # runs and one pass over the settled indices — no per-source dicts.
-        csr_g = csr_snapshot(original)
-        csr_h = csr_snapshot(subgraph)
-        node_of = csr_g.node_of
-        h_index = csr_h.index_of
         for source in sources:
             if not original.has_node(source):
                 raise ValueError(f"source {source!r} not in graph")
-            base_dist, base_order = sssp_dijkstra_csr(csr_g, csr_g.index_of[source])
-            hs = h_index.get(source)
-            sub_dist = sssp_dijkstra_csr(csr_h, hs)[0] if hs is not None else None
-            allowed = restrict.get(source, ()) if restrict is not None else None
-            for index in base_order:
-                target = node_of[index]
-                base_distance = base_dist[index]
-                if target == source or base_distance == 0:
-                    continue
-                if allowed is not None and target not in allowed:
-                    continue
-                if sub_dist is None:
-                    ratio = math.inf
-                else:
-                    j = h_index.get(target)
-                    ratio = (sub_dist[j] if j is not None else math.inf) / base_distance
-                if ratio > worst:
-                    worst = ratio
+        resolved = get_backend(backend, workers)
+        context = _SweepContext(
+            csr_g=csr_snapshot(original), csr_h=csr_snapshot(subgraph),
+            restrict=(None if restrict is None else
+                      {node: frozenset(targets)
+                       for node, targets in restrict.items()}),
+        )
+        worst = 1.0
+        for chunk_worst in resolved.map(_sweep_chunk,
+                                        split_sequence(sources, resolved.workers),
+                                        context=context):
+            if chunk_worst > worst:
+                worst = chunk_worst
         return worst
 
+    worst = 1.0
     for source in sources:
         base = dijkstra_distances(original, source)
         sub = dijkstra_distances(subgraph, source) if subgraph.has_node(source) else {}
@@ -89,9 +121,11 @@ def stretch_of(original: Graph, subgraph: Graph,
     return worst
 
 
-def is_spanner(original: Graph, subgraph: Graph, stretch: float) -> bool:
+def is_spanner(original: Graph, subgraph: Graph, stretch: float,
+               *, workers: int = 1, backend: BackendLike = None) -> bool:
     """Definition 1: whether ``subgraph`` is a ``stretch``-spanner of ``original``."""
-    return stretch_of(original, subgraph) <= stretch * (1.0 + _RELATIVE_TOLERANCE)
+    return (stretch_of(original, subgraph, workers=workers, backend=backend)
+            <= stretch * (1.0 + _RELATIVE_TOLERANCE))
 
 
 @dataclass
@@ -118,10 +152,44 @@ class FTVerificationReport:
         return self.ok
 
 
+@dataclass(frozen=True)
+class _VerifyContext:
+    """Picklable payload shipped once per worker for fault-set checking."""
+
+    csr_g: CSRGraph
+    csr_h: CSRGraph
+    fault_model: str
+    threshold: float
+
+
+def _verify_chunk(ctx: _VerifyContext, chunk: List) -> ChunkVerdict:
+    """Check one chunk of fault sets, stopping at its first violation.
+
+    The exact twin of the serial loop restricted to the chunk: scan in
+    order, track the running maximum, stop the moment the threshold is
+    exceeded.
+    """
+    model = get_fault_model(ctx.fault_model)
+    worst = 1.0
+    checked = 0
+    for faults in chunk:
+        checked += 1
+        value = stretch_between_csr(ctx.csr_g, ctx.csr_h, model, list(faults))
+        if value > worst:
+            worst = value
+        if value > ctx.threshold:
+            return ChunkVerdict(checked=checked, worst=worst,
+                                witness=model.canonical(faults),
+                                witness_value=value)
+    return ChunkVerdict(checked=checked, worst=worst)
+
+
 def is_ft_spanner(original: Graph, subgraph: Graph, stretch: float, max_faults: int,
                   fault_model: "str | FaultModel" = "vertex",
                   *, method: str = "auto", samples: int = 200, rng=None,
-                  exhaustive_limit: int = 50_000) -> FTVerificationReport:
+                  exhaustive_limit: int = 50_000,
+                  workers: int = 1,
+                  backend: BackendLike = None) -> FTVerificationReport:
     """Definition 2: verify that ``subgraph`` is an ``f``-fault-tolerant spanner.
 
     Parameters
@@ -132,6 +200,11 @@ def is_ft_spanner(original: Graph, subgraph: Graph, stretch: float, max_faults: 
         sets — can only refute, never fully confirm; ``"auto"`` picks
         exhaustive when the number of fault sets is at most
         ``exhaustive_limit``.
+    workers / backend:
+        Shard the fault-set sweep through :func:`repro.runtime.get_backend`.
+        The report is bit-identical to a serial run (see the module
+        docstring for the counter-merge rule); a found violation cancels the
+        chunks enumerated after it.
 
     Notes
     -----
@@ -156,31 +229,51 @@ def is_ft_spanner(original: Graph, subgraph: Graph, stretch: float, max_faults: 
 
     if method == "exhaustive":
         candidates: Iterable = enumerate_fault_sets(elements, max_faults)
+        total = total_sets
         exhaustive = True
     else:
         candidates = sample_fault_sets(original, model, max_faults, samples, rng=rng)
+        total = len(candidates)
         exhaustive = False
 
     threshold = stretch * (1.0 + _RELATIVE_TOLERANCE)
-    worst = 1.0
-    checked = 0
-    for faults in candidates:
-        checked += 1
-        value = stretch_under_faults(original, subgraph, model, faults)
-        if value > worst:
-            worst = value
-        if value > threshold:
-            return FTVerificationReport(
-                ok=False,
-                stretch_required=stretch,
-                worst_stretch=worst,
-                fault_model=model.name,
-                max_faults=max_faults,
-                fault_sets_checked=checked,
-                exhaustive=exhaustive,
-                violating_fault_set=model.canonical(faults),
-                notes="found a fault set exceeding the required stretch",
-            )
+
+    if isinstance(original, Graph) and isinstance(subgraph, Graph):
+        resolved = get_backend(backend, workers)
+        context = _VerifyContext(csr_g=csr_snapshot(original),
+                                 csr_h=csr_snapshot(subgraph),
+                                 fault_model=model.name, threshold=threshold)
+        chunks = iter_chunks(candidates, chunk_size_for(total, resolved.workers))
+        verdict = merge_verdicts(
+            resolved.imap(_verify_chunk, chunks, context=context))
+        worst, checked = verdict.worst, verdict.checked
+        violating = verdict.witness
+    else:
+        # Graph views have no CSR snapshot to ship; keep the plain scan.
+        worst = 1.0
+        checked = 0
+        violating = None
+        for faults in candidates:
+            checked += 1
+            value = stretch_under_faults(original, subgraph, model, faults)
+            if value > worst:
+                worst = value
+            if value > threshold:
+                violating = model.canonical(faults)
+                break
+
+    if violating is not None:
+        return FTVerificationReport(
+            ok=False,
+            stretch_required=stretch,
+            worst_stretch=worst,
+            fault_model=model.name,
+            max_faults=max_faults,
+            fault_sets_checked=checked,
+            exhaustive=exhaustive,
+            violating_fault_set=violating,
+            notes="found a fault set exceeding the required stretch",
+        )
     return FTVerificationReport(
         ok=True,
         stretch_required=stretch,

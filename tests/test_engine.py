@@ -220,6 +220,52 @@ def test_cache_version_invalidation():
     assert cache.get("a") is None
 
 
+def test_cache_flush_on_mid_session_version_bump_drops_stale_entries():
+    """Mutating the served graph mid-session must flush *every* cached vector.
+
+    Regression coverage for the versioned-LRU contract: warm the cache with
+    several ``(source, faults)`` vectors, bump ``Graph.version`` behind the
+    engine's back, and check that the stale entries are gone, the
+    invalidation is counted, and post-mutation answers match the reference
+    on the mutated graph.
+    """
+    graph = generators.gnm(16, 50, rng=9, connected=True, weighted=True)
+    engine = QueryEngine(SpannerSnapshot(spanner=graph, stretch=1.0),
+                         cache_size=32, admit_threshold=1)
+    nodes = list(graph.nodes())
+    sources = nodes[:4]
+    queries = [(s, t) for s in sources for t in nodes[4:10]]
+    before = engine.distances_batch(queries)
+    assert len(engine.cache) == len(sources)  # one vector per source
+    assert engine.cache.invalidations == 0
+    version_before = graph.version
+
+    # Structural mutation behind the snapshot: a new shortcut edge between a
+    # queried pair that is not yet adjacent.  Version must move and every
+    # cached vector must be dropped on the next lookup round.
+    shortcut = next((s, t) for s in sources for t in nodes[4:10]
+                    if not graph.has_edge(s, t))
+    graph.add_edge(*shortcut, 1e-4)
+    assert graph.version > version_before
+    after = engine.distances_batch(queries)
+    assert engine.cache.invalidations == 1
+    assert len(engine.cache) == len(sources)  # repopulated, not stale
+    reference = [bounded_distance(ExclusionView(graph), s, t, math.inf)
+                 for s, t in queries]
+    assert after == reference
+    assert after != before  # the shortcut edge changed at least one answer
+
+    # Removal-style mutation (recompiles the CSR) invalidates again; the
+    # counter records each flush separately, and answers return to the
+    # pre-mutation reference once the shortcut is gone.
+    graph.remove_edge(*shortcut)
+    engine.distances_batch(queries)
+    assert engine.cache.invalidations == 2
+    assert engine.distances_batch(queries) == before
+    stats = engine.stats()["cache"]
+    assert stats["invalidations"] == 2 and stats["entries"] == len(sources)
+
+
 def test_engine_invalidates_on_graph_version_change():
     graph = generators.gnm(14, 40, rng=2, connected=True, weighted=True)
     engine = QueryEngine(SpannerSnapshot(spanner=graph, stretch=1.0),
@@ -239,6 +285,31 @@ def test_engine_invalidates_on_graph_version_change():
     # And answers keep matching the reference on the mutated graph.
     assert after == bounded_distance(ExclusionView(graph), nodes[0], nodes[1],
                                      math.inf)
+
+
+def test_stretch_audit_batch_parallel_matches_serial():
+    """Sharded audit sweeps return the exact per-call audits, plus counters."""
+    graph = generators.gnm(18, 56, rng=6, connected=True, weighted=True)
+    result = ft_greedy_spanner(graph, 3, 1)
+    snapshot = SpannerSnapshot.from_result(result)
+    nodes = list(graph.nodes())
+    requests = [(s, t, (w,)) for s in nodes[:3] for t in nodes[3:7]
+                for w in nodes[7:9]]
+    serial = QueryEngine(snapshot).stretch_audit_batch(requests)
+    pooled_engine = QueryEngine(snapshot, backend="process", workers=2)
+    pooled = pooled_engine.stretch_audit_batch(requests)
+    assert pooled == serial
+    assert pooled_engine.audits == len(requests)
+    assert pooled_engine.audit_kernel_calls == len(requests)
+    assert all(audit.within_budget for audit in pooled)
+
+
+def test_stretch_audit_batch_requires_original():
+    graph = generators.gnm(12, 30, rng=1, connected=True)
+    engine = QueryEngine(SpannerSnapshot(spanner=graph, stretch=1.0),
+                         backend="process", workers=2)
+    with pytest.raises(EngineError):
+        engine.stretch_audit_batch([(0, 1, ())])
 
 
 # --------------------------------------------------------------------------

@@ -113,6 +113,49 @@ class TestEnumeration:
         sets = list(fault_sets_for_pair(triangle, "vertex", 0, 1, 1))
         assert sets == [(), (2,)]
 
+    def test_sample_unique_has_no_duplicates(self, small_random):
+        samples = sample_fault_sets(small_random, "vertex", 2, 40, rng=0,
+                                    unique=True)
+        assert len(samples) == 40
+        assert len(set(samples)) == len(samples)
+        assert all(len(sample) == 2 for sample in samples)
+
+    def test_sample_unique_is_deterministic_per_seed(self, small_random):
+        first = sample_fault_sets(small_random, "edge", 2, 25, rng=7,
+                                  unique=True)
+        second = sample_fault_sets(small_random, "edge", 2, 25, rng=7,
+                                   unique=True)
+        assert first == second
+        assert len(set(first)) == len(first)
+        different = sample_fault_sets(small_random, "edge", 2, 25, rng=8,
+                                      unique=True)
+        assert different != first
+
+    def test_sample_unique_caps_at_distinct_universe(self, triangle):
+        # Only C(3, 2) = 3 distinct vertex pairs exist; asking for more must
+        # terminate and return them all exactly once.
+        samples = sample_fault_sets(triangle, "vertex", 2, 50, rng=0,
+                                    unique=True)
+        assert sorted(samples, key=sorted) == [frozenset({0, 1}),
+                                               frozenset({0, 2}),
+                                               frozenset({1, 2})]
+
+    def test_sample_unique_bounded_retry_budget(self, triangle):
+        # A retry budget too small to beat the birthday collisions may return
+        # fewer sets, but never duplicates and never an infinite loop.
+        samples = sample_fault_sets(triangle, "vertex", 2, 3, rng=0,
+                                    unique=True, max_attempts=2)
+        assert len(samples) <= 2
+        assert len(set(samples)) == len(samples)
+
+    def test_sample_default_stream_unchanged_by_unique_flag(self, small_random):
+        # unique=False must keep consuming the rng exactly as before the
+        # flag existed (reproducibility of recorded experiments).
+        baseline = sample_fault_sets(small_random, "vertex", 3, 10, rng=3)
+        again = sample_fault_sets(small_random, "vertex", 3, 10, rng=3,
+                                  unique=False)
+        assert baseline == again
+
 
 class TestStretchUnderFaults:
     def test_no_faults_identical_graphs(self, triangle):
