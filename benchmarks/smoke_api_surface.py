@@ -1,0 +1,121 @@
+"""API-surface smoke check for the unified construction API.
+
+Run in CI (and locally) as::
+
+    PYTHONPATH=src python benchmarks/smoke_api_surface.py
+
+Three gates, all hard failures:
+
+1. every registered algorithm builds a small seeded graph through
+   ``build(graph, spec)``;
+2. the same build through the CLI (``repro-spanner build --algorithm ...``)
+   produces the identical edge set — no drift between the Python facade and
+   the command line;
+3. the algorithm table documented in README.md ("Python API" section) names
+   exactly the registered algorithms — the registry and the docs cannot
+   disagree.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.build import ALGORITHMS, BuildSpec, available_algorithms, build
+from repro.cli import main as cli_main
+from repro.graph import generators
+from repro.graph.io import read_json, write_json
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def spec_for(name: str) -> BuildSpec:
+    """A small, valid spec for each registered algorithm."""
+    caps = ALGORITHMS[name].capabilities
+    return BuildSpec(
+        algorithm=name,
+        stretch=3.0,
+        max_faults=1 if caps.fault_tolerant else 0,
+        fault_model=ALGORITHMS[name].default_fault_model,
+        seed=0 if caps.randomized else None,
+        params={"max_samples": 10} if name == "sampling-union" else {},
+    )
+
+
+def cli_args_for(name: str, graph_path: Path, out_path: Path) -> list:
+    spec = spec_for(name)
+    args = ["build", str(graph_path), "--algorithm", name,
+            "-k", str(spec.stretch), "-f", str(spec.max_faults),
+            "--fault-model", spec.fault_model, "-o", str(out_path)]
+    if spec.seed is not None:
+        args += ["--seed", str(spec.seed)]
+    for key, value in spec.params.items():
+        args += ["-P", f"{key}={value}"]
+    return args
+
+
+def documented_algorithms() -> set:
+    """Algorithm names from the README's documented algorithm table."""
+    text = README.read_text(encoding="utf-8")
+    names = set()
+    in_table = False
+    for line in text.splitlines():
+        if line.startswith("| algorithm"):
+            in_table = True
+            continue
+        if in_table:
+            match = re.match(r"\|\s*`([a-z0-9-]+)`", line)
+            if match:
+                names.add(match.group(1))
+            elif not line.startswith("|"):
+                in_table = False
+    return names
+
+
+def main() -> int:
+    graph = generators.gnm(16, 40, rng=0, connected=True)
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_path = Path(tmp) / "graph.json"
+        write_json(graph, graph_path)
+        for name in available_algorithms():
+            spec = spec_for(name)
+            result = build(graph, spec)
+            api_edges = sorted(result.spanner.edges(), key=repr)
+            out_path = Path(tmp) / f"{name}.json"
+            code = cli_main(cli_args_for(name, graph_path, out_path))
+            if code != 0:
+                failures.append(f"{name}: CLI build exited {code}")
+                continue
+            cli_edges = sorted(read_json(out_path).edges(), key=repr)
+            if api_edges != cli_edges:
+                failures.append(
+                    f"{name}: CLI edge set ({len(cli_edges)}) differs from "
+                    f"build(spec) edge set ({len(api_edges)})")
+            else:
+                print(f"ok {name:16s} {len(api_edges)} edges "
+                      f"(build(spec) == CLI)")
+
+    documented = documented_algorithms()
+    registered = set(available_algorithms())
+    if documented != registered:
+        failures.append(
+            "README algorithm table disagrees with the registry: "
+            f"missing from README {sorted(registered - documented)}, "
+            f"stale in README {sorted(documented - registered)}")
+    else:
+        print(f"ok README algorithm table matches registry "
+              f"({len(registered)} algorithms)")
+
+    if failures:
+        for failure in failures:
+            print("FAIL", failure, file=sys.stderr)
+        return 1
+    print("api-surface smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

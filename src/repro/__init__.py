@@ -18,14 +18,30 @@ True
 ...                    method="sampled", samples=25, rng=0))
 True
 
+New code should construct spanners through the unified build API —
+``build(graph, BuildSpec("ft-greedy", stretch=3, max_faults=1))`` — which
+validates the spec against the algorithm registry and produces results
+byte-identical to the direct construction functions (now thin shims kept
+for compatibility).
+
 The public API re-exported here is the stable surface; subpackages
-(:mod:`repro.graph`, :mod:`repro.spanners`, :mod:`repro.bounds`,
-:mod:`repro.baselines`, :mod:`repro.faults`, :mod:`repro.experiments`) expose
-the full machinery.
+(:mod:`repro.graph`, :mod:`repro.spanners`, :mod:`repro.build`,
+:mod:`repro.bounds`, :mod:`repro.baselines`, :mod:`repro.faults`,
+:mod:`repro.experiments`) expose the full machinery.
 """
 
 from repro.graph import Graph, generators
 from repro.graph.convert import from_networkx, to_networkx
+from repro.build import (
+    AlgorithmCapabilities,
+    BuildError,
+    BuildSession,
+    BuildSpec,
+    available_algorithms,
+    build,
+    get_algorithm,
+    register_algorithm,
+)
 from repro.spanners import (
     SpannerResult,
     greedy_spanner,
@@ -58,11 +74,19 @@ from repro.runtime import (
     get_backend,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Graph",
     "generators",
+    "AlgorithmCapabilities",
+    "BuildError",
+    "BuildSession",
+    "BuildSpec",
+    "available_algorithms",
+    "build",
+    "get_algorithm",
+    "register_algorithm",
     "from_networkx",
     "to_networkx",
     "SpannerResult",

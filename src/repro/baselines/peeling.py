@@ -48,7 +48,17 @@ def peeling_union_spanner(graph: Graph, stretch: float, max_faults: int) -> Span
     max_faults:
         Edge-fault budget ``f ≥ 0``; ``f = 0`` reduces to the plain greedy
         spanner.
+
+    A thin shim over the algorithm registry
+    (``BuildSpec("peeling-union", ...)``).
     """
+    from repro.build import BuildSpec, build
+    return build(graph, BuildSpec(algorithm="peeling-union", stretch=stretch,
+                                  max_faults=max_faults, fault_model="edge"))
+
+
+def _peeling_union(graph: Graph, stretch: float, max_faults: int) -> SpannerResult:
+    """The implementation behind the registry entry and the shim."""
     if stretch < 1:
         raise ValueError("stretch must be at least 1")
     if max_faults < 0:

@@ -81,7 +81,34 @@ def sampling_union_spanner(graph: Graph, stretch: float, max_faults: int,
         Probability each vertex survives into a sample (``q`` above).
     rng:
         Seed / random source for reproducibility.
+
+    A thin shim over the algorithm registry
+    (``BuildSpec("sampling-union", ...)``); rng objects that are not plain
+    integer seeds bypass the (JSON-valued) spec and call the implementation
+    directly — the results are identical either way.
     """
+    if rng is None or isinstance(rng, int):
+        from repro.build import BuildSpec, build
+        return build(graph, BuildSpec(
+            algorithm="sampling-union", stretch=stretch,
+            max_faults=max_faults, fault_model="vertex", seed=rng,
+            params={"samples": samples,
+                    "survival_probability": survival_probability,
+                    "failure_probability": failure_probability,
+                    "max_samples": max_samples}))
+    return _sampling_union(graph, stretch, max_faults, samples=samples,
+                           survival_probability=survival_probability,
+                           failure_probability=failure_probability,
+                           max_samples=max_samples, rng=rng)
+
+
+def _sampling_union(graph: Graph, stretch: float, max_faults: int,
+                    *, samples: Optional[int] = None,
+                    survival_probability: float = 0.5,
+                    failure_probability: float = 0.1,
+                    max_samples: int = 2000,
+                    rng=None) -> SpannerResult:
+    """The implementation behind the registry entry and the shim."""
     if stretch < 1:
         raise ValueError("stretch must be at least 1")
     if max_faults < 0:

@@ -14,7 +14,19 @@ from repro.utils.timing import Timer
 
 def trivial_spanner(graph: Graph, stretch: float = 1.0,
                     max_faults: int = 0, fault_model: str = "vertex") -> SpannerResult:
-    """Return the whole graph packaged as a :class:`SpannerResult`."""
+    """Return the whole graph packaged as a :class:`SpannerResult`.
+
+    A thin shim over the algorithm registry (``BuildSpec("trivial", ...)``).
+    """
+    from repro.build import BuildSpec, build
+    return build(graph, BuildSpec(algorithm="trivial", stretch=stretch,
+                                  max_faults=max_faults,
+                                  fault_model=fault_model))
+
+
+def _trivial(graph: Graph, stretch: float = 1.0,
+             max_faults: int = 0, fault_model: str = "vertex") -> SpannerResult:
+    """The implementation behind the registry entry and the shim."""
     timer = Timer("trivial").start()
     spanner = graph.copy()
     timer.stop()

@@ -1,0 +1,136 @@
+"""Registry entries for every construction in :mod:`repro.spanners` / :mod:`repro.baselines`.
+
+Importing this module (which :mod:`repro.build` does on package import)
+populates the algorithm registry.  Each builder is a small adapter mapping a
+:class:`~repro.build.spec.BuildSpec` onto the underlying implementation
+function; the public construction functions (``ft_greedy_spanner``,
+``greedy_spanner``, the baselines) are in turn thin shims over this registry,
+so both entry paths execute exactly the same code and produce byte-identical
+spanners, witness fault sets, and work counters.
+
+Registered algorithms:
+
+=================  =========================================================
+``ft-greedy``      Algorithm 1 of the paper (VFT/EFT greedy, exact oracles,
+                   parallelizable fault checks, records witnesses).
+``vft-greedy``     ``ft-greedy`` pinned to the vertex fault model.
+``eft-greedy``     ``ft-greedy`` pinned to the edge fault model.
+``greedy``         The classic non-fault-tolerant greedy spanner.
+``trivial``        Keep every edge (vacuously fault tolerant).
+``sampling-union`` Union of greedy spanners of random induced subgraphs
+                   (folklore randomized VFT construction).
+``peeling-union``  Union of ``f + 1`` iteratively peeled greedy spanners
+                   (classic EFT construction).
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+from repro.baselines.peeling import _peeling_union
+from repro.baselines.sampling import _sampling_union
+from repro.baselines.trivial import _trivial
+from repro.build.registry import AlgorithmCapabilities, register_algorithm
+from repro.build.session import BuildContext
+from repro.build.spec import BuildSpec
+from repro.graph.core import Graph
+from repro.spanners.base import SpannerResult
+from repro.spanners.ft_greedy import _ft_greedy
+from repro.spanners.greedy import _greedy
+
+_FT_GREEDY_CAPS = AlgorithmCapabilities(
+    fault_tolerant=True, fault_models=("vertex", "edge"),
+    produces_witnesses=True, accepts_oracle=True, parallelizable=True)
+_FT_GREEDY_PARAMS = ("record_witnesses", "progress_every")
+
+
+def _run_ft_greedy(graph: Graph, spec: BuildSpec, ctx: BuildContext,
+                   fault_model: str) -> SpannerResult:
+    return _ft_greedy(
+        graph, spec.stretch, spec.max_faults, fault_model,
+        oracle=spec.oracle,
+        record_witnesses=spec.params.get("record_witnesses", True),
+        progress_every=spec.params.get("progress_every", 0),
+        workers=spec.workers, backend=spec.backend,
+        on_progress=ctx.on_progress, should_cancel=ctx.should_cancel)
+
+
+@register_algorithm(
+    "ft-greedy", capabilities=_FT_GREEDY_CAPS, params=_FT_GREEDY_PARAMS,
+    description="Algorithm 1: the fault-tolerant greedy spanner (the paper)")
+def _build_ft_greedy(graph: Graph, spec: BuildSpec,
+                     ctx: BuildContext) -> SpannerResult:
+    return _run_ft_greedy(graph, spec, ctx, spec.fault_model)
+
+
+@register_algorithm(
+    "vft-greedy",
+    capabilities=AlgorithmCapabilities(
+        fault_tolerant=True, fault_models=("vertex",),
+        produces_witnesses=True, accepts_oracle=True, parallelizable=True),
+    params=_FT_GREEDY_PARAMS,
+    description="ft-greedy pinned to vertex faults (where the bound is optimal)")
+def _build_vft_greedy(graph: Graph, spec: BuildSpec,
+                      ctx: BuildContext) -> SpannerResult:
+    return _run_ft_greedy(graph, spec, ctx, "vertex")
+
+
+@register_algorithm(
+    "eft-greedy",
+    capabilities=AlgorithmCapabilities(
+        fault_tolerant=True, fault_models=("edge",),
+        produces_witnesses=True, accepts_oracle=True, parallelizable=True),
+    params=_FT_GREEDY_PARAMS,
+    description="ft-greedy pinned to edge faults (EFT setting)")
+def _build_eft_greedy(graph: Graph, spec: BuildSpec,
+                      ctx: BuildContext) -> SpannerResult:
+    return _run_ft_greedy(graph, spec, ctx, "edge")
+
+
+@register_algorithm(
+    "greedy",
+    capabilities=AlgorithmCapabilities(),
+    description="classic greedy spanner (Althöfer et al.; non-fault-tolerant)")
+def _build_greedy(graph: Graph, spec: BuildSpec,
+                  ctx: BuildContext) -> SpannerResult:
+    return _greedy(graph, spec.stretch)
+
+
+@register_algorithm(
+    "trivial",
+    capabilities=AlgorithmCapabilities(
+        fault_tolerant=True, fault_models=("vertex", "edge")),
+    description="keep every edge (vacuously fault tolerant; the size ceiling)")
+def _build_trivial(graph: Graph, spec: BuildSpec,
+                   ctx: BuildContext) -> SpannerResult:
+    return _trivial(graph, spec.stretch, spec.max_faults, spec.fault_model)
+
+
+@register_algorithm(
+    "sampling-union",
+    capabilities=AlgorithmCapabilities(
+        fault_tolerant=True, fault_models=("vertex",), randomized=True),
+    params=("samples", "survival_probability", "failure_probability",
+            "max_samples"),
+    description="union of greedy spanners of random induced subgraphs "
+                "(folklore randomized VFT baseline, exp(f) samples)")
+def _build_sampling_union(graph: Graph, spec: BuildSpec,
+                          ctx: BuildContext) -> SpannerResult:
+    params = spec.params
+    return _sampling_union(
+        graph, spec.stretch, spec.max_faults,
+        samples=params.get("samples"),
+        survival_probability=params.get("survival_probability", 0.5),
+        failure_probability=params.get("failure_probability", 0.1),
+        max_samples=params.get("max_samples", 2000),
+        rng=ctx.rng(spec))
+
+
+@register_algorithm(
+    "peeling-union",
+    capabilities=AlgorithmCapabilities(
+        fault_tolerant=True, fault_models=("edge",)),
+    description="union of f+1 iteratively peeled greedy spanners "
+                "(classic EFT baseline)")
+def _build_peeling_union(graph: Graph, spec: BuildSpec,
+                         ctx: BuildContext) -> SpannerResult:
+    return _peeling_union(graph, spec.stretch, spec.max_faults)

@@ -1,0 +1,170 @@
+"""The algorithm registry: every spanner construction behind one surface.
+
+Constructions register with :func:`register_algorithm`, declaring their
+*capabilities* — is the output fault tolerant, and under which fault models?
+does it produce per-edge witness fault sets?  does it accept a fault-check
+oracle?  can the build itself be parallelized?  is it randomized? — plus the
+algorithm-specific parameter names it understands.  A
+:class:`~repro.build.spec.BuildSpec` is checked against those declarations by
+:func:`validate_spec` *before* the construction runs, so "greedy cannot take
+a fault budget" or "peeling-union is edge-fault only" fail fast with a
+precise error instead of surfacing as a wrong-looking spanner.
+
+The registered builders all share one signature::
+
+    builder(graph: Graph, spec: BuildSpec, ctx: BuildContext) -> SpannerResult
+
+The adapters living in :mod:`repro.build.algorithms` map specs onto the
+concrete construction functions in :mod:`repro.spanners` and
+:mod:`repro.baselines`; those functions in turn remain available as thin
+shims over this registry, with byte-identical outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.build.spec import BuildError, BuildSpec
+from repro.faults.models import get_fault_model
+
+
+@dataclass(frozen=True)
+class AlgorithmCapabilities:
+    """What one registered construction can and cannot do.
+
+    Attributes
+    ----------
+    fault_tolerant:
+        Whether the output withstands a positive fault budget.  Specs with
+        ``max_faults > 0`` are rejected for algorithms without it.
+    fault_models:
+        Fault models the construction supports (``()`` for non-fault-tolerant
+        algorithms, whose specs may carry any model — it is ignored).
+    produces_witnesses:
+        Whether ``witness_fault_sets`` is populated (the Lemma 3 input).
+    accepts_oracle:
+        Whether ``spec.oracle`` selects a fault-check oracle.
+    parallelizable:
+        Whether ``spec.workers > 1`` shards the construction through
+        :mod:`repro.runtime`.
+    randomized:
+        Whether ``spec.seed`` feeds a random stream (deterministic
+        algorithms ignore the seed, so one spec can sweep the registry).
+    """
+
+    fault_tolerant: bool = False
+    fault_models: Tuple[str, ...] = ()
+    produces_witnesses: bool = False
+    accepts_oracle: bool = False
+    parallelizable: bool = False
+    randomized: bool = False
+
+    def describe(self) -> str:
+        """Compact capability string for CLI listings."""
+        bits: List[str] = []
+        if self.fault_tolerant:
+            bits.append("ft:" + "/".join(self.fault_models))
+        else:
+            bits.append("non-ft")
+        if self.produces_witnesses:
+            bits.append("witnesses")
+        if self.accepts_oracle:
+            bits.append("oracle")
+        if self.parallelizable:
+            bits.append("parallel")
+        if self.randomized:
+            bits.append("seeded")
+        return ",".join(bits)
+
+
+Builder = Callable[..., "object"]  # (graph, spec, ctx) -> SpannerResult
+
+
+@dataclass(frozen=True)
+class RegisteredAlgorithm:
+    """One entry of the algorithm registry."""
+
+    name: str
+    builder: Builder
+    capabilities: AlgorithmCapabilities
+    description: str = ""
+    #: Algorithm-specific ``spec.params`` keys the builder understands.
+    params: Tuple[str, ...] = ()
+
+    @property
+    def default_fault_model(self) -> str:
+        """The model a spec should default to when the user named none."""
+        if self.capabilities.fault_models:
+            return self.capabilities.fault_models[0]
+        return "vertex"
+
+
+#: The global registry, populated by :mod:`repro.build.algorithms` on import.
+ALGORITHMS: Dict[str, RegisteredAlgorithm] = {}
+
+
+def register_algorithm(name: str, *, capabilities: AlgorithmCapabilities,
+                       description: str = "",
+                       params: Tuple[str, ...] = ()) -> Callable[[Builder], Builder]:
+    """Decorator registering a ``builder(graph, spec, ctx)`` under ``name``."""
+    def wrap(builder: Builder) -> Builder:
+        existing = ALGORITHMS.get(name)
+        if existing is not None and existing.builder is not builder:
+            raise BuildError(f"algorithm {name!r} is already registered")
+        ALGORITHMS[name] = RegisteredAlgorithm(
+            name=name, builder=builder, capabilities=capabilities,
+            description=description, params=tuple(params))
+        return builder
+    return wrap
+
+
+def available_algorithms() -> List[str]:
+    """Sorted names of every registered construction."""
+    return sorted(ALGORITHMS)
+
+
+def get_algorithm(name: str) -> RegisteredAlgorithm:
+    """Look up a registered construction by name."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise BuildError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+
+
+def validate_spec(spec: BuildSpec) -> RegisteredAlgorithm:
+    """Check ``spec`` against its algorithm's declared capabilities.
+
+    Returns the registry entry so callers can go straight to the builder.
+    Raises :class:`BuildError` on any mismatch; the numeric/structural
+    invariants were already enforced by :class:`BuildSpec` itself.
+    """
+    algorithm = get_algorithm(spec.algorithm)
+    caps = algorithm.capabilities
+    if spec.max_faults > 0 and not caps.fault_tolerant:
+        raise BuildError(
+            f"algorithm {spec.algorithm!r} is not fault tolerant "
+            f"(spec asks for max_faults={spec.max_faults})")
+    if caps.fault_tolerant and caps.fault_models:
+        model = get_fault_model(spec.fault_model).name
+        if model not in caps.fault_models:
+            raise BuildError(
+                f"algorithm {spec.algorithm!r} supports fault model(s) "
+                f"{list(caps.fault_models)}, not {model!r}")
+    if spec.oracle is not None and not caps.accepts_oracle:
+        raise BuildError(
+            f"algorithm {spec.algorithm!r} does not accept a fault-check "
+            f"oracle (spec asks for {spec.oracle!r})")
+    if spec.workers > 1 and not caps.parallelizable:
+        raise BuildError(
+            f"algorithm {spec.algorithm!r} is not parallelizable "
+            f"(spec asks for workers={spec.workers}); drop workers to 1 and "
+            f"keep them for the verification stage instead")
+    unknown = sorted(set(spec.params) - set(algorithm.params))
+    if unknown:
+        raise BuildError(
+            f"algorithm {spec.algorithm!r} does not understand param(s) "
+            f"{unknown}; declared params: {sorted(algorithm.params)}")
+    return algorithm

@@ -3,8 +3,9 @@
 Installed as ``repro-spanner`` (see ``pyproject.toml``) and runnable as
 ``python -m repro``.  Subcommands:
 
-* ``build``       — build a (fault-tolerant) spanner of a graph file and write
-  it back out, printing a summary;
+* ``build``       — build a spanner of a graph file with any registered
+  algorithm (``--algorithm``, over the full :mod:`repro.build` registry) and
+  write it back out, printing a summary;
 * ``verify``      — check the spanner / FT-spanner property of a subgraph file
   against an original graph file;
 * ``experiment``  — run one of the registered experiments (E1..E10) and print
@@ -21,6 +22,11 @@ Installed as ``repro-spanner`` (see ``pyproject.toml``) and runnable as
 All graph files are the edge-list / JSON formats of :mod:`repro.graph.io`
 (chosen by extension via :func:`repro.graph.io.load_graph_auto`); spanner
 snapshots are the JSON documents of :mod:`repro.engine.snapshot`.
+
+``build``, ``serve``, and ``query`` share one set of construction options
+translated by :func:`spec_from_args` into a single
+:class:`~repro.build.spec.BuildSpec`, so construction defaults cannot drift
+between subcommands.
 """
 
 from __future__ import annotations
@@ -33,6 +39,13 @@ import time
 from pathlib import Path
 
 from repro.bounds.lower_bound import bdpw_lower_bound_instance
+from repro.build import (
+    ALGORITHMS,
+    BuildSession,
+    BuildSpec,
+    available_algorithms,
+    get_algorithm,
+)
 from repro.engine.engine import EngineError, QueryEngine
 from repro.engine.snapshot import SpannerSnapshot
 from repro.engine.workload import (
@@ -45,8 +58,6 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.workloads import WORKLOADS, get_workload
 from repro.graph.io import load_graph_auto, parse_node, save_graph_auto
 from repro.graph.products import relabel_product_nodes
-from repro.spanners.ft_greedy import ft_greedy_spanner
-from repro.spanners.greedy import greedy_spanner
 from repro.spanners.verify import STRETCH_TOLERANCE, is_ft_spanner, stretch_of
 from repro.utils.logging import configure_cli_logging, get_logger
 from repro.utils.tables import Table
@@ -55,25 +66,71 @@ _LOGGER = get_logger("cli")
 
 
 # --------------------------------------------------------------------------
+# Build-spec plumbing shared by build / serve / query
+# --------------------------------------------------------------------------
+
+def _parse_param(pair: str):
+    """One ``--param KEY=VALUE`` entry; values parse as JSON, else string."""
+    key, separator, value = pair.partition("=")
+    if not separator or not key.strip():
+        raise ValueError(f"--param expects KEY=VALUE, got {pair!r}")
+    try:
+        return key.strip(), json.loads(value)
+    except json.JSONDecodeError:
+        return key.strip(), value.strip()
+
+
+def spec_from_args(args: argparse.Namespace) -> BuildSpec:
+    """Translate the shared construction options into one :class:`BuildSpec`.
+
+    This is the *only* place CLI options become construction parameters, so
+    defaults cannot drift between ``build``, ``serve``, and ``query``.
+    ``--algorithm auto`` keeps the historical behaviour: ``ft-greedy`` when
+    a fault budget is given, the plain ``greedy`` spanner otherwise.  An
+    unset ``--fault-model`` resolves to the algorithm's native model, so
+    e.g. ``--algorithm peeling-union`` needs no extra flag.
+    """
+    algorithm = args.algorithm
+    if algorithm == "auto":
+        algorithm = "ft-greedy" if args.faults > 0 else "greedy"
+    entry = get_algorithm(algorithm)
+    return BuildSpec(
+        algorithm=algorithm,
+        stretch=args.stretch,
+        max_faults=args.faults,
+        fault_model=args.fault_model or entry.default_fault_model,
+        oracle=args.oracle,
+        # Deterministic constructions record no seed, so the spec carried in
+        # a snapshot never suggests spurious randomness (serve's workload
+        # --seed in particular is not a construction parameter).
+        seed=(getattr(args, "seed", None)
+              if entry.capabilities.randomized else None),
+        workers=getattr(args, "workers", 1),
+        backend=getattr(args, "backend", None),
+        params=dict(_parse_param(pair) for pair in (args.param or [])),
+    )
+
+
+# --------------------------------------------------------------------------
 # Subcommand implementations
 # --------------------------------------------------------------------------
 
 def _cmd_build(args: argparse.Namespace) -> int:
     graph = load_graph_auto(args.input)
-    if args.faults > 0:
-        result = ft_greedy_spanner(graph, args.stretch, args.faults,
-                                   fault_model=args.fault_model,
-                                   oracle=args.oracle)
-    else:
-        result = greedy_spanner(graph, args.stretch)
+    spec = spec_from_args(args)
+    session = BuildSession(graph, spec)
+    result = session.build()
     print(f"input: n={graph.number_of_nodes()} m={graph.number_of_edges()}")
-    print(f"spanner: {result.algorithm} k={args.stretch} f={args.faults} "
-          f"({args.fault_model}) -> {result.size} edges "
+    print(f"spanner: {result.algorithm} k={spec.stretch} f={spec.max_faults} "
+          f"({spec.fault_model}) -> {result.size} edges "
           f"({result.compression_ratio:.1%} of input) "
           f"in {result.construction_seconds:.2f}s")
     if args.output:
         save_graph_auto(result.spanner, args.output)
         print(f"wrote spanner to {args.output}")
+    if args.save_snapshot:
+        session.save_snapshot(args.save_snapshot)
+        print(f"wrote snapshot to {args.save_snapshot}")
     return 0
 
 
@@ -192,17 +249,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _resolve_snapshot(args: argparse.Namespace) -> SpannerSnapshot:
-    """Load a snapshot file, or build one from a graph file (serve/query)."""
+    """Load a snapshot file, or build one from a graph file (serve/query).
+
+    Builds go through the same :func:`spec_from_args` translator as the
+    ``build`` subcommand, and the resulting snapshot records its
+    :class:`BuildSpec` so it can later rebuild itself.
+    """
     if SpannerSnapshot.is_snapshot_file(args.input):
         return SpannerSnapshot.load(args.input)
     graph = load_graph_auto(args.input)
-    if args.faults > 0:
-        result = ft_greedy_spanner(graph, args.stretch, args.faults,
-                                   fault_model=args.fault_model,
-                                   oracle=args.oracle)
-    else:
-        result = greedy_spanner(graph, args.stretch)
-    return SpannerSnapshot.from_result(result)
+    return BuildSession(graph, spec_from_args(args)).snapshot()
 
 
 def _parse_fault_spec(spec: str, fault_model: str) -> tuple:
@@ -339,7 +395,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    print("experiments:")
+    print("algorithms:")
+    for name in available_algorithms():
+        entry = ALGORITHMS[name]
+        print(f"  {name:16s} [{entry.capabilities.describe()}] "
+              f"{entry.description}")
+    print("\nexperiments:")
     for ident, spec in sorted(EXPERIMENTS.items()):
         print(f"  {ident:4s} {spec.title} — {spec.claim}")
     print("\nworkloads:")
@@ -361,14 +422,47 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verbose", action="store_true", help="debug logging")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_spec_options(command: argparse.ArgumentParser, *,
+                         seed: bool = True) -> None:
+        """Construction options shared by build/serve/query — one translator
+        (:func:`spec_from_args`) turns them into a :class:`BuildSpec`, so
+        defaults cannot drift between the subcommands."""
+        command.add_argument("--algorithm", "-a", default="auto",
+                             choices=["auto"] + available_algorithms(),
+                             help="construction to run (auto: ft-greedy when "
+                                  "--faults > 0, else greedy)")
+        command.add_argument("--stretch", "-k", type=float, default=3.0)
+        command.add_argument("--faults", "-f", type=int, default=0,
+                             help="fault budget of the construction")
+        command.add_argument("--fault-model", choices=["vertex", "edge"],
+                             default=None,
+                             help="default: the algorithm's native model")
+        command.add_argument("--oracle", default=None,
+                             choices=["branch-and-bound", "exhaustive",
+                                      "greedy-path-packing"])
+        command.add_argument("--param", "-P", action="append", default=[],
+                             metavar="KEY=VALUE",
+                             help="algorithm-specific parameter (repeatable; "
+                                  "values parsed as JSON, e.g. "
+                                  "-P samples=40)")
+        command.add_argument("--workers", type=int, default=1,
+                             help="shard the construction's fault checks "
+                                  "over this many worker processes "
+                                  "(parallelizable algorithms only; spanner "
+                                  "and witnesses are byte-identical)")
+        command.add_argument("--backend", choices=["auto", "serial", "process"],
+                             default=None, help="execution backend")
+        if seed:
+            command.add_argument("--seed", type=int, default=None,
+                                 help="seed for randomized constructions")
+
     build = sub.add_parser("build", help="build a (fault tolerant) spanner of a graph file")
     build.add_argument("input", help="input graph (.json or edge list)")
     build.add_argument("--output", "-o", help="where to write the spanner")
-    build.add_argument("--stretch", "-k", type=float, default=3.0)
-    build.add_argument("--faults", "-f", type=int, default=0)
-    build.add_argument("--fault-model", choices=["vertex", "edge"], default="vertex")
-    build.add_argument("--oracle", default=None,
-                       choices=["branch-and-bound", "exhaustive", "greedy-path-packing"])
+    add_spec_options(build)
+    build.add_argument("--save-snapshot",
+                       help="also write a serving snapshot (records the "
+                            "build spec for later rebuilds)")
     build.set_defaults(func=_cmd_build)
 
     verify = sub.add_parser("verify", help="verify the (FT) spanner property")
@@ -418,23 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(func=_cmd_generate)
 
-    def add_build_options(command: argparse.ArgumentParser) -> None:
-        """Spanner-construction options shared by serve/query when the input
-        is a plain graph file rather than a prebuilt snapshot."""
-        command.add_argument("--stretch", "-k", type=float, default=3.0)
-        command.add_argument("--faults", "-f", type=int, default=0,
-                             help="fault budget used when building from a graph file")
-        command.add_argument("--fault-model", choices=["vertex", "edge"],
-                             default="vertex")
-        command.add_argument("--oracle", default=None,
-                             choices=["branch-and-bound", "exhaustive",
-                                      "greedy-path-packing"])
-
     serve = sub.add_parser(
         "serve",
         help="replay a synthetic query workload through the batched engine")
     serve.add_argument("input", help="snapshot JSON, or a graph file to build from")
-    add_build_options(serve)
+    add_spec_options(serve, seed=False)  # serve's own --seed doubles as spec seed
     serve.add_argument("--save-snapshot", help="write the (built) snapshot here")
     serve.add_argument("--workload", choices=["uniform", "zipf", "churn"],
                        default="zipf")
@@ -457,7 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser(
         "query", help="answer one fault-tolerant distance query")
     query.add_argument("input", help="snapshot JSON, or a graph file to build from")
-    add_build_options(query)
+    add_spec_options(query)
     query.add_argument("--source", "-s", required=True)
     query.add_argument("--target", "-t", required=True)
     query.add_argument("--faults-spec", "-F", default="", metavar="FAULTS",
@@ -469,7 +551,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--json", action="store_true")
     query.set_defaults(func=_cmd_query)
 
-    lister = sub.add_parser("list", help="list experiments and workloads")
+    lister = sub.add_parser(
+        "list", help="list algorithms, experiments, and workloads")
     lister.set_defaults(func=_cmd_list)
 
     return parser

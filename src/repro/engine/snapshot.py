@@ -12,6 +12,13 @@ graphs via :func:`repro.graph.io.graph_to_json`), so a service can start
 from disk without re-running the construction; plain graph files are pulled
 in through :func:`repro.graph.io.load_graph_auto`, the same extension
 dispatch the CLI uses.
+
+Snapshots built through :mod:`repro.build` additionally record the
+originating :class:`~repro.build.spec.BuildSpec` in their metadata
+(:attr:`SpannerSnapshot.build_spec`), which survives the JSON round trip —
+so a snapshot knows exactly how it was constructed and can
+:meth:`~SpannerSnapshot.rebuild` itself (against its stored original graph
+or a new one) through the algorithm registry.
 """
 
 from __future__ import annotations
@@ -58,9 +65,22 @@ class SpannerSnapshot:
     # --------------------------------------------------------------- building
     @classmethod
     def from_result(cls, result: SpannerResult, *,
-                    keep_original: bool = True) -> "SpannerSnapshot":
-        """Wrap a :class:`~repro.spanners.base.SpannerResult` for serving."""
+                    keep_original: bool = True,
+                    spec: Optional[Any] = None) -> "SpannerSnapshot":
+        """Wrap a :class:`~repro.spanners.base.SpannerResult` for serving.
+
+        Pass the originating :class:`~repro.build.spec.BuildSpec` as
+        ``spec`` to record it in the snapshot metadata; the spec then
+        survives save/load and powers :meth:`rebuild`.
+        """
         fault_model = result.fault_model if result.fault_model != "none" else "vertex"
+        metadata: Dict[str, Any] = {
+            "construction_seconds": result.construction_seconds,
+            "edges_considered": result.edges_considered,
+            **result.parameters,
+        }
+        if spec is not None:
+            metadata["build_spec"] = spec.to_json()
         return cls(
             spanner=result.spanner,
             stretch=result.stretch,
@@ -68,10 +88,52 @@ class SpannerSnapshot:
             fault_model=fault_model,
             algorithm=result.algorithm,
             original=result.original if keep_original else None,
-            metadata={"construction_seconds": result.construction_seconds,
-                      "edges_considered": result.edges_considered,
-                      **result.parameters},
+            metadata=metadata,
         )
+
+    @classmethod
+    def build(cls, graph: Graph, spec: Any, *,
+              keep_original: bool = True) -> "SpannerSnapshot":
+        """Construct a spanner through the algorithm registry and wrap it."""
+        from repro.build import build as run_build
+
+        return cls.from_result(run_build(graph, spec),
+                               keep_original=keep_original, spec=spec)
+
+    # ----------------------------------------------------------- build specs
+    @property
+    def build_spec(self):
+        """The recorded :class:`~repro.build.spec.BuildSpec`, or ``None``.
+
+        ``None`` for snapshots predating the unified construction API or
+        assembled from bare graph files.
+        """
+        from repro.build.spec import BuildSpec
+
+        document = self.metadata.get("build_spec")
+        if document is None:
+            return None
+        return BuildSpec.from_json(document)
+
+    def rebuild(self, graph: Optional[Graph] = None, *,
+                keep_original: bool = True) -> "SpannerSnapshot":
+        """Re-run the recorded build spec and return the fresh snapshot.
+
+        Rebuilds against ``graph`` when given, else against the stored
+        original graph.  Deterministic specs (everything but an unseeded
+        ``sampling-union``) reproduce the spanner exactly — the round trip
+        is covered by ``tests/test_build.py``.
+        """
+        spec = self.build_spec
+        if spec is None:
+            raise GraphError(
+                "snapshot records no build spec; rebuild it explicitly via "
+                "repro.build.build(graph, spec)")
+        target = graph if graph is not None else self.original
+        if target is None:
+            raise GraphError(
+                "snapshot kept no original graph; pass one to rebuild against")
+        return type(self).build(target, spec, keep_original=keep_original)
 
     @classmethod
     def from_graph_files(cls, spanner_path: PathLike, *,

@@ -22,13 +22,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.baselines import peeling_union_spanner, sampling_union_spanner, trivial_spanner
+from repro.build import ALGORITHMS, BuildSpec, build
 from repro.experiments.workloads import build_workloads
-from repro.spanners.ft_greedy import ft_greedy_spanner
-from repro.spanners.greedy import greedy_spanner
 from repro.spanners.verify import is_ft_spanner
 from repro.utils.rng import ensure_rng
 from repro.utils.tables import Table
+
+#: Registry algorithms E3 compares, in reporting order (FT greedy first —
+#: the other rows report their size relative to it).  ``greedy`` runs with
+#: ``f = 0`` and is labelled accordingly: it is the size floor showing what
+#: fault tolerance costs.
+E3_ALGORITHMS = ("ft-greedy", "peeling-union", "sampling-union", "greedy",
+                 "trivial")
 
 
 @dataclass
@@ -91,20 +96,40 @@ def run(config: Optional[Config] = None, *, rng=0) -> Table:
     return table
 
 
-def _build_all(graph, config: Config, f: int, rng):
-    """All competing constructions on one instance, FT greedy first."""
-    ft = ft_greedy_spanner(graph, config.stretch, f, fault_model=config.fault_model)
-    peeling = peeling_union_spanner(graph, config.stretch, f)
-    sampling = sampling_union_spanner(
-        graph, config.stretch, f, rng=rng,
-        max_samples=config.max_sampling_baseline_samples,
+def _spec_for(name: str, config: Config, f: int, rng) -> BuildSpec:
+    """The :class:`BuildSpec` E3 runs for one registered algorithm.
+
+    Model-specific constructions fall back to their native fault model when
+    the sweep's model is unsupported (exactly what the old hand-rolled
+    dispatch did: ``peeling-union`` is always built as the EFT construction
+    even when the comparison verifies under vertex faults).
+    """
+    caps = ALGORITHMS[name].capabilities
+    fault_model = config.fault_model
+    if not caps.fault_tolerant or fault_model not in caps.fault_models:
+        fault_model = ALGORITHMS[name].default_fault_model
+    params = {}
+    if name == "sampling-union":
+        params["max_samples"] = config.max_sampling_baseline_samples
+    return BuildSpec(
+        algorithm=name,
+        stretch=config.stretch,
+        max_faults=f if caps.fault_tolerant else 0,
+        fault_model=fault_model,
+        seed=rng.seed if caps.randomized else None,
+        params=params,
     )
-    plain = greedy_spanner(graph, config.stretch)
-    trivial = trivial_spanner(graph, config.stretch, f, config.fault_model)
-    return [
-        ("ft-greedy", ft),
-        ("peeling-union", peeling),
-        ("sampling-union", sampling),
-        ("greedy (f=0)", plain),
-        ("trivial", trivial),
-    ]
+
+
+def _build_all(graph, config: Config, f: int, rng):
+    """All competing constructions on one instance, FT greedy first.
+
+    Iterates the algorithm registry (:data:`E3_ALGORITHMS`) through the
+    unified :func:`repro.build.build` facade instead of importing the five
+    construction functions individually.
+    """
+    results = []
+    for name in E3_ALGORITHMS:
+        label = "greedy (f=0)" if name == "greedy" else name
+        results.append((label, build(graph, _spec_for(name, config, f, rng))))
+    return results

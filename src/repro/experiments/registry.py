@@ -2,6 +2,11 @@
 
 The registry is populated lazily (each experiment module registers on import)
 to keep import costs low; :func:`get_experiment` imports the module on demand.
+
+Spanner construction inside the drivers goes through the *algorithm*
+registry of :mod:`repro.build` — either directly (E3 iterates it over all
+competing constructions) or via the construction-function shims — so every
+experiment builds exactly what ``build(graph, BuildSpec(...))`` would.
 """
 
 from __future__ import annotations

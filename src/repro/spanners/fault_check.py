@@ -70,6 +70,25 @@ class OracleStats:
         self.nodes_expanded = 0
 
 
+def candidate_elements_csr(model: FaultModel, csr: CSRGraph, source: Node,
+                           target: Node) -> List:
+    """Faultable elements derived from a CSR snapshot (no ``Graph`` needed).
+
+    Vertex candidates come back in ``csr.node_of`` order, which equals the
+    source graph's node-insertion order; edge candidates come back in
+    undirected-edge-id order (the compile/append order of the snapshot).
+    Callers that need the exact :meth:`Graph.edges` iteration order — it can
+    differ from id order after incremental appends — should pass an explicit
+    ``candidates`` list to :meth:`FaultCheckOracle.find_breaking_fault_set_csr`
+    instead; enumeration order decides which witness a tie returns.
+    """
+    if model.uses_vertex_mask:
+        return [node for node in csr.node_of
+                if node != source and node != target]
+    node_of = csr.node_of
+    return [edge_key(node_of[a], node_of[b]) for a, b in csr.edge_index]
+
+
 class FaultCheckOracle(ABC):
     """Interface for the "find a breaking fault set" decision/search problem."""
 
@@ -92,6 +111,24 @@ class FaultCheckOracle(ABC):
         found (heuristic oracles).  The distance comparison treats
         unreachability as ``inf > budget``.
         """
+
+    def find_breaking_fault_set_csr(self, csr: CSRGraph, source: Node,
+                                    target: Node, budget: float,
+                                    max_faults: int,
+                                    fault_model: "str | FaultModel",
+                                    candidates: Optional[List] = None) -> Optional[FaultSet]:
+        """CSR-native twin of :meth:`find_breaking_fault_set`.
+
+        Operates directly on a compiled snapshot, so the check can run in a
+        worker process that only received the (picklable) CSR — this is what
+        the parallel FT-greedy build ships through :mod:`repro.runtime`.
+        ``candidates`` optionally pins the enumeration order of the faultable
+        elements (only the exhaustive oracle consults it); oracles without a
+        CSR implementation raise ``NotImplementedError`` so the parallel
+        driver can refuse them up front.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no CSR fault-check implementation")
 
     # ------------------------------------------------------------------ utils
     def _distance_exceeds(self, graph, source: Node, target: Node,
@@ -118,32 +155,47 @@ class ExhaustiveOracle(FaultCheckOracle):
                                 budget: float, max_faults: int,
                                 fault_model: "str | FaultModel") -> Optional[FaultSet]:
         model = get_fault_model(fault_model)
-        self.stats.queries += 1
         elements = model.candidate_elements(graph, source, target)
         if isinstance(graph, Graph):
-            csr = csr_snapshot(graph)
-            s = csr.index_of.get(source)
-            t = csr.index_of.get(target)
-            mask = model.new_mask(csr)
-            vertex_mask, edge_mask = model.kernel_masks(mask)
-            for faults in enumerate_fault_sets(elements, max_faults):
-                indices = model.mask_indices(csr, faults)
-                for index in indices:
-                    mask[index] = 1
-                self.stats.distance_queries += 1
-                if s is None or t is None:
-                    exceeded = True
-                else:
-                    exceeded = bounded_dijkstra_csr(
-                        csr, s, t, budget, vertex_mask, edge_mask) > budget
-                for index in indices:
-                    mask[index] = 0
-                if exceeded:
-                    return model.canonical(faults)
-            return None
+            # Candidates come from the *graph* so the enumeration order (and
+            # hence which witness a tie returns) is identical to the
+            # pre-kernel implementation.
+            return self.find_breaking_fault_set_csr(
+                csr_snapshot(graph), source, target, budget, max_faults,
+                model, candidates=elements)
+        self.stats.queries += 1
         for faults in enumerate_fault_sets(elements, max_faults):
             view = model.apply(graph, faults)
             if self._distance_exceeds(view, source, target, budget):
+                return model.canonical(faults)
+        return None
+
+    def find_breaking_fault_set_csr(self, csr: CSRGraph, source: Node,
+                                    target: Node, budget: float,
+                                    max_faults: int,
+                                    fault_model: "str | FaultModel",
+                                    candidates: Optional[List] = None) -> Optional[FaultSet]:
+        model = get_fault_model(fault_model)
+        self.stats.queries += 1
+        elements = (candidates if candidates is not None
+                    else candidate_elements_csr(model, csr, source, target))
+        s = csr.index_of.get(source)
+        t = csr.index_of.get(target)
+        mask = model.new_mask(csr)
+        vertex_mask, edge_mask = model.kernel_masks(mask)
+        for faults in enumerate_fault_sets(elements, max_faults):
+            indices = model.mask_indices(csr, faults)
+            for index in indices:
+                mask[index] = 1
+            self.stats.distance_queries += 1
+            if s is None or t is None:
+                exceeded = True
+            else:
+                exceeded = bounded_dijkstra_csr(
+                    csr, s, t, budget, vertex_mask, edge_mask) > budget
+            for index in indices:
+                mask[index] = 0
+            if exceeded:
                 return model.canonical(faults)
         return None
 
@@ -171,17 +223,28 @@ class BranchAndBoundOracle(FaultCheckOracle):
                                 budget: float, max_faults: int,
                                 fault_model: "str | FaultModel") -> Optional[FaultSet]:
         model = get_fault_model(fault_model)
-        self.stats.queries += 1
         if isinstance(graph, Graph):
-            csr = csr_snapshot(graph)
-            mask = model.new_mask(csr)
-            found = self._search_csr(
-                csr, source, target,
-                csr.index_of.get(source), csr.index_of.get(target),
-                budget, max_faults, model, [], mask,
-            )
-        else:
-            found = self._search(graph, source, target, budget, max_faults, model, [])
+            return self.find_breaking_fault_set_csr(
+                csr_snapshot(graph), source, target, budget, max_faults, model)
+        self.stats.queries += 1
+        found = self._search(graph, source, target, budget, max_faults, model, [])
+        return model.canonical(found) if found is not None else None
+
+    def find_breaking_fault_set_csr(self, csr: CSRGraph, source: Node,
+                                    target: Node, budget: float,
+                                    max_faults: int,
+                                    fault_model: "str | FaultModel",
+                                    candidates: Optional[List] = None) -> Optional[FaultSet]:
+        # ``candidates`` is ignored: the branching elements come from the
+        # witness paths themselves, never from a global enumeration.
+        model = get_fault_model(fault_model)
+        self.stats.queries += 1
+        mask = model.new_mask(csr)
+        found = self._search_csr(
+            csr, source, target,
+            csr.index_of.get(source), csr.index_of.get(target),
+            budget, max_faults, model, [], mask,
+        )
         return model.canonical(found) if found is not None else None
 
     def _search_csr(self, csr: CSRGraph, source: Node, target: Node,
@@ -266,9 +329,10 @@ class GreedyPathPackingOracle(FaultCheckOracle):
                                 budget: float, max_faults: int,
                                 fault_model: "str | FaultModel") -> Optional[FaultSet]:
         model = get_fault_model(fault_model)
-        self.stats.queries += 1
         if isinstance(graph, Graph):
-            return self._find_csr(graph, source, target, budget, max_faults, model)
+            return self.find_breaking_fault_set_csr(
+                csr_snapshot(graph), source, target, budget, max_faults, model)
+        self.stats.queries += 1
         chosen: List = []
         for _ in range(max_faults + 1):
             view = model.apply(graph, chosen) if chosen else graph
@@ -286,10 +350,14 @@ class GreedyPathPackingOracle(FaultCheckOracle):
             chosen.append(elements[len(elements) // 2])
         return None
 
-    def _find_csr(self, graph: Graph, source: Node, target: Node, budget: float,
-                  max_faults: int, model: FaultModel) -> Optional[FaultSet]:
-        """Mask-based twin of the view loop above."""
-        csr = csr_snapshot(graph)
+    def find_breaking_fault_set_csr(self, csr: CSRGraph, source: Node,
+                                    target: Node, budget: float,
+                                    max_faults: int,
+                                    fault_model: "str | FaultModel",
+                                    candidates: Optional[List] = None) -> Optional[FaultSet]:
+        """Mask-based twin of the view loop above (``candidates`` ignored)."""
+        model = get_fault_model(fault_model)
+        self.stats.queries += 1
         s = csr.index_of.get(source)
         t = csr.index_of.get(target)
         mask = model.new_mask(csr)

@@ -32,6 +32,10 @@ def sorted_edges(graph: Graph):
 def greedy_spanner(graph: Graph, stretch: float) -> SpannerResult:
     """Build a ``stretch``-spanner with the greedy algorithm.
 
+    A thin shim over the algorithm registry — equivalent to
+    ``repro.build.build(graph, BuildSpec("greedy", stretch=...))`` — kept as
+    the stable front door for existing call sites.
+
     Parameters
     ----------
     graph:
@@ -47,6 +51,12 @@ def greedy_spanner(graph: Graph, stretch: float) -> SpannerResult:
         Moore bound and the standard girth argument: the output has girth
         ``> 2k``).
     """
+    from repro.build import BuildSpec, build
+    return build(graph, BuildSpec(algorithm="greedy", stretch=stretch))
+
+
+def _greedy(graph: Graph, stretch: float) -> SpannerResult:
+    """The greedy implementation behind the registry entry and the shim."""
     if stretch < 1:
         raise ValueError("stretch must be at least 1")
     spanner = graph.spanning_subgraph()

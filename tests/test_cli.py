@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, spec_from_args
 from repro.graph import generators
 from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
 from repro.spanners.greedy import greedy_spanner
@@ -27,7 +27,25 @@ class TestParser:
         args = build_parser().parse_args(["build", "g.json"])
         assert args.stretch == 3.0
         assert args.faults == 0
-        assert args.fault_model == "vertex"
+        assert args.algorithm == "auto"
+        # --fault-model defaults to the algorithm's native model, resolved
+        # by the shared spec translator rather than per-subcommand defaults.
+        assert args.fault_model is None
+        spec = spec_from_args(args)
+        assert spec.algorithm == "greedy"
+        assert spec.fault_model == "vertex"
+
+    def test_spec_defaults_cannot_drift_between_subcommands(self):
+        """build/serve/query share one translator -> identical specs."""
+        parser = build_parser()
+        specs = [
+            spec_from_args(parser.parse_args(["build", "g.json", "-f", "1"])),
+            spec_from_args(parser.parse_args(["serve", "g.json", "-f", "1"])),
+            spec_from_args(parser.parse_args(
+                ["query", "g.json", "-s", "0", "-t", "1", "-f", "1"])),
+        ]
+        assert specs[0] == specs[1] == specs[2]
+        assert specs[0].algorithm == "ft-greedy"
 
     def test_experiment_arguments(self):
         args = build_parser().parse_args(["experiment", "E3", "--scale", "quick"])
@@ -61,6 +79,47 @@ class TestBuildCommand:
     def test_missing_input_is_reported(self, tmp_path):
         assert main(["build", str(tmp_path / "missing.json")]) == 2
 
+    @pytest.mark.parametrize("algorithm", ["trivial", "sampling-union",
+                                           "peeling-union"])
+    def test_baselines_buildable_from_cli(self, graph_file, tmp_path,
+                                          algorithm, capsys):
+        """The three baselines are reachable via --algorithm (CLI bugfix)."""
+        path, graph = graph_file
+        out = tmp_path / f"{algorithm}.json"
+        code = main(["build", str(path), "--algorithm", algorithm,
+                     "-f", "1", "--seed", "0", "-o", str(out)])
+        assert code == 0
+        spanner = read_json(out)
+        assert spanner.number_of_edges() > 0
+        assert algorithm in capsys.readouterr().out
+
+    def test_build_with_algorithm_param(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        code = main(["build", str(path), "--algorithm", "sampling-union",
+                     "-f", "1", "--seed", "3", "-P", "max_samples=10"])
+        assert code == 0
+        assert "sampling-union" in capsys.readouterr().out
+
+    def test_incompatible_spec_is_reported(self, graph_file):
+        path, _ = graph_file
+        # greedy cannot take a fault budget; trivial cannot parallelize.
+        assert main(["build", str(path), "--algorithm", "greedy",
+                     "-f", "2"]) == 2
+        assert main(["build", str(path), "--algorithm", "trivial",
+                     "--workers", "4"]) == 2
+
+    def test_build_save_snapshot_records_spec(self, graph_file, tmp_path):
+        path, _ = graph_file
+        snap = tmp_path / "snap.json"
+        code = main(["build", str(path), "-f", "1",
+                     "--save-snapshot", str(snap)])
+        assert code == 0
+        from repro.engine.snapshot import SpannerSnapshot
+        spec = SpannerSnapshot.load(snap).build_spec
+        assert spec is not None
+        assert spec.algorithm == "ft-greedy"
+        assert spec.max_faults == 1
+
 
 class TestVerifyCommand:
     def test_verify_valid_spanner(self, graph_file, tmp_path):
@@ -93,6 +152,11 @@ class TestOtherCommands:
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "E1" in output and "workloads" in output
+        # The algorithm registry is listed with capability tags.
+        assert "algorithms:" in output
+        for name in ("ft-greedy", "trivial", "sampling-union", "peeling-union"):
+            assert name in output
+        assert "witnesses" in output and "parallel" in output
 
     def test_generate_command(self, tmp_path, capsys):
         out = tmp_path / "workload.json"
