@@ -67,6 +67,15 @@ from repro.bounds import (
 )
 from repro.faults import VERTEX_FAULTS, EDGE_FAULTS, get_fault_model
 from repro.engine import QueryEngine, SpannerSnapshot
+from repro.dynamic import (
+    DynamicSpanner,
+    EdgeDelete,
+    EdgeInsert,
+    LiveEngine,
+    UpdateJournal,
+    WeightChange,
+    random_journal,
+)
 from repro.runtime import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -74,7 +83,7 @@ from repro.runtime import (
     get_backend,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Graph",
@@ -112,6 +121,13 @@ __all__ = [
     "get_fault_model",
     "QueryEngine",
     "SpannerSnapshot",
+    "DynamicSpanner",
+    "LiveEngine",
+    "UpdateJournal",
+    "EdgeInsert",
+    "EdgeDelete",
+    "WeightChange",
+    "random_journal",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",

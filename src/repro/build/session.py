@@ -182,6 +182,20 @@ class BuildSession:
                            backend=self.spec.backend,
                            workers=self.spec.workers)
 
+    def dynamic(self):
+        """A :class:`~repro.dynamic.maintain.DynamicSpanner` over the result.
+
+        The entry point into incremental maintenance: adopts the (built)
+        construction — witnesses included — and maintains its ``k``/``f``
+        guarantee across edge updates without rebuilding; repair sweeps and
+        certifications share the spec's ``workers``/``backend`` knobs.  Wrap
+        it in :class:`~repro.dynamic.live.LiveEngine` to keep serving
+        queries while updates flow.  Requires an FT-greedy-family spec.
+        """
+        from repro.dynamic.maintain import DynamicSpanner
+
+        return DynamicSpanner(self.graph, self.spec, result=self.build())
+
     # --------------------------------------------------------------- summary
     def summary(self) -> dict:
         """Flat dict describing the session's spec and completed stages."""

@@ -17,7 +17,15 @@ Installed as ``repro-spanner`` (see ``pyproject.toml``) and runnable as
   query workload through the batched query engine, reporting throughput and
   cache statistics;
 * ``query``       — answer a single fault-tolerant distance query against a
-  snapshot or graph file.
+  snapshot or graph file;
+* ``update``      — apply an update journal to a snapshot through the
+  incremental maintainer (:mod:`repro.dynamic`), optionally certifying the
+  maintained spanner and writing the refreshed snapshot back out;
+* ``replay``      — deterministically replay an update journal onto a graph
+  file, optionally cross-checking incremental maintenance against a
+  from-scratch rebuild at the final graph.
+
+Update journals are the JSON documents of :mod:`repro.dynamic.updates`.
 
 All graph files are the edge-list / JSON formats of :mod:`repro.graph.io`
 (chosen by extension via :func:`repro.graph.io.load_graph_auto`); spanner
@@ -394,6 +402,204 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_spec_sentinels(args: argparse.Namespace) -> None:
+    """Fill the update verb's unset-sentinels with the shared defaults.
+
+    Needed wherever the sentinel-parsing ``update`` verb hands its args to
+    :func:`spec_from_args` (which expects the regular defaults).
+    """
+    for name, default in (("algorithm", "auto"), ("stretch", 3.0),
+                          ("faults", 0), ("workers", 1), ("param", [])):
+        if getattr(args, name) is None:
+            setattr(args, name, default)
+
+
+def _maintainer_spec(args: argparse.Namespace,
+                     snapshot: SpannerSnapshot) -> BuildSpec:
+    """The spec a maintenance verb runs under: recorded beats re-derived.
+
+    A snapshot built through the registry knows its own spec — trusting it
+    keeps ``update`` faithful to however the spanner was actually built;
+    bare-graph snapshots fall back to the shared CLI translator.
+    Construction options that *conflict* with the recorded contract are an
+    error rather than silently dropped (changing ``k``/``f`` means a
+    different spanner — rebuild from the graph file for that); the
+    execution knobs (``--workers``/``--backend``) are not part of the
+    contract and always win, so certification can shard.
+    """
+    recorded = snapshot.build_spec
+    if recorded is None:
+        _resolve_spec_sentinels(args)
+        return spec_from_args(args)
+    # The update verb parses these flags with None sentinels (see
+    # build_parser), so an *explicitly passed* value — even one equal to the
+    # usual default — is visible here and must match the recorded contract.
+    # ``--algorithm auto`` defers to the snapshot by definition.
+    requested = [
+        ("--algorithm",
+         None if args.algorithm == "auto" else args.algorithm,
+         recorded.algorithm),
+        ("--stretch", args.stretch, recorded.stretch),
+        ("--faults", args.faults, recorded.max_faults),
+        ("--fault-model", args.fault_model, recorded.fault_model),
+        ("--oracle", args.oracle, recorded.oracle),
+    ]
+    conflicts = [f"{flag} {value}" for flag, value, kept in requested
+                 if value is not None and value != kept]
+    for pair in args.param or []:
+        key, value = _parse_param(pair)
+        if key not in recorded.params or recorded.params[key] != value:
+            conflicts.append(f"--param {pair}")
+    if conflicts:
+        raise ValueError(
+            f"snapshot records its build spec ({recorded.summary()}); "
+            f"conflicting option(s) {', '.join(conflicts)} would change the "
+            f"maintained contract — rebuild from the graph file instead")
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    return recorded.replace(**overrides) if overrides else recorded
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.dynamic import DynamicSpanner, UpdateJournal
+
+    if not SpannerSnapshot.is_snapshot_file(args.input):
+        # Graph-file input: there is no recorded spec to reconcile against,
+        # so resolve the sentinels up front for the build in _resolve_snapshot
+        # (the resulting snapshot then records exactly that spec).
+        _resolve_spec_sentinels(args)
+    snapshot = _resolve_snapshot(args)
+    journal = UpdateJournal.load(args.journal)
+    spec = _maintainer_spec(args, snapshot)
+    maintainer = DynamicSpanner.from_snapshot(snapshot, spec=spec)
+    edges_before = maintainer.spanner.number_of_edges()
+    maintainer.apply_journal(journal)
+    stats = maintainer.stats()
+    record = None
+    if args.certify:
+        record = maintainer.certify(method=args.method, samples=args.samples,
+                                    rng=args.seed)
+    if args.save_snapshot:
+        SpannerSnapshot(
+            spanner=maintainer.spanner,
+            stretch=spec.stretch,
+            max_faults=spec.max_faults,
+            fault_model=maintainer.model.name,
+            algorithm=f"{spec.algorithm}[dynamic]",
+            original=maintainer.graph,
+            metadata={"build_spec": spec.to_json(),
+                      "updates_applied": maintainer.updates_applied},
+        ).save(args.save_snapshot)
+    if args.output:
+        save_graph_auto(maintainer.spanner, args.output)
+    if args.json:
+        report = {"command": "update", "input": args.input,
+                  "journal": args.journal, "edges_before": edges_before,
+                  **stats}
+        if record is not None:
+            report["certified"] = {
+                "ok": record.ok,
+                "exhaustive": record.report.exhaustive,
+                "fault_sets_checked": record.report.fault_sets_checked,
+                "worst_stretch": record.report.worst_stretch,
+            }
+        print(json.dumps(report, indent=2))
+        return 0 if record is None or record.ok else 1
+    counts = stats["update_counts"]
+    print(f"journal: {len(journal)} updates "
+          f"(+{counts['insert']} -{counts['delete']} ~{counts['reweight']})")
+    print(f"graph: n={stats['graph_nodes']} m={stats['graph_edges']}; "
+          f"spanner: {edges_before} -> {stats['spanner_edges']} edges")
+    print(f"maintenance: {stats['incremental_accepts']} accepts, "
+          f"{stats['repairs']} repairs re-adding {stats['repair_edges_added']} "
+          f"edge(s), {stats['dirty_candidates_checked']} dirty candidates "
+          f"checked ({stats['dirty_selectivity']:.1%} of pool) "
+          f"in {stats['maintenance_seconds']:.3f}s")
+    if args.save_snapshot:
+        print(f"wrote snapshot to {args.save_snapshot}")
+    if args.output:
+        print(f"wrote spanner to {args.output}")
+    if record is not None:
+        report = record.report
+        print(f"certified over {report.fault_sets_checked} fault sets "
+              f"({'exhaustive' if report.exhaustive else 'sampled'}): "
+              f"worst stretch {report.worst_stretch:.4f} "
+              f"(required <= {spec.stretch})")
+        print("VERDICT:", "OK" if record.ok else "VIOLATED")
+        return 0 if record.ok else 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.build import build
+    from repro.dynamic import DynamicSpanner, UpdateJournal, certify
+
+    graph = load_graph_auto(args.input)
+    journal = UpdateJournal.load(args.journal)
+    final = journal.replay(graph)
+    counts = journal.counts()
+    document = {
+        "command": "replay", "input": args.input, "journal": args.journal,
+        "updates": len(journal), "update_counts": counts,
+        "before": {"nodes": graph.number_of_nodes(),
+                   "edges": graph.number_of_edges()},
+        "after": {"nodes": final.number_of_nodes(),
+                  "edges": final.number_of_edges()},
+    }
+    if not args.json:
+        print(f"journal: {len(journal)} updates "
+              f"(+{counts['insert']} -{counts['delete']} ~{counts['reweight']})")
+        print(f"replayed: n={graph.number_of_nodes()} "
+              f"m={graph.number_of_edges()} -> n={final.number_of_nodes()} "
+              f"m={final.number_of_edges()}")
+    if args.output:
+        save_graph_auto(final, args.output)
+        if not args.json:
+            print(f"wrote final graph to {args.output}")
+    ok = True
+    if args.check:
+        # The property anchor, from the command line: maintaining through
+        # the journal and rebuilding at the final graph must both certify,
+        # and the size gap is the documented online-vs-offline factor.
+        spec = spec_from_args(args)
+        maintained = DynamicSpanner(graph.copy(), spec)
+        maintained.apply_journal(journal)
+        maintained_record = maintained.certify(
+            method=args.method, samples=args.samples, rng=args.seed)
+        rebuilt = build(final, spec)
+        rebuilt_report = certify(
+            final, rebuilt.spanner, spec.stretch, spec.max_faults,
+            maintained.model.name, method=args.method, samples=args.samples,
+            rng=args.seed, workers=spec.workers, backend=spec.backend)
+        ratio = (maintained.spanner.number_of_edges()
+                 / max(1, rebuilt.spanner.number_of_edges()))
+        ok = maintained_record.ok and rebuilt_report.ok
+        document["check"] = {
+            "spec": spec.to_json(),
+            "maintained_edges": maintained.spanner.number_of_edges(),
+            "rebuilt_edges": rebuilt.spanner.number_of_edges(),
+            "size_ratio": ratio,
+            "maintained_ok": maintained_record.ok,
+            "rebuilt_ok": rebuilt_report.ok,
+            "exhaustive": maintained_record.report.exhaustive,
+        }
+        if not args.json:
+            print(f"check ({spec.summary()}): maintained "
+                  f"{maintained.spanner.number_of_edges()} edges vs rebuilt "
+                  f"{rebuilt.spanner.number_of_edges()} edges "
+                  f"(ratio {ratio:.2f})")
+            print(f"maintained: "
+                  f"{'OK' if maintained_record.ok else 'VIOLATED'}; rebuilt: "
+                  f"{'OK' if rebuilt_report.ok else 'VIOLATED'} "
+                  f"({'exhaustive' if maintained_record.report.exhaustive else 'sampled'})")
+    if args.json:
+        print(json.dumps(document, indent=2))
+    return 0 if ok else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("algorithms:")
     for name in available_algorithms():
@@ -550,6 +756,54 @@ def build_parser() -> argparse.ArgumentParser:
                             "(snapshot must carry it)")
     query.add_argument("--json", action="store_true")
     query.set_defaults(func=_cmd_query)
+
+    update = sub.add_parser(
+        "update",
+        help="apply an update journal through the incremental maintainer")
+    update.add_argument("input", help="snapshot JSON, or a graph file to build from")
+    add_spec_options(update)
+    # Unset-sentinels (parser-level defaults override the argument-level
+    # ones): the update verb must tell "flag not given" apart from "flag
+    # given at its usual default" to reconcile explicit options against a
+    # snapshot's recorded build spec — see _maintainer_spec.
+    update.set_defaults(algorithm=None, stretch=None, faults=None,
+                        oracle=None, workers=None, backend=None, param=None)
+    update.add_argument("--journal", "-j", required=True,
+                        help="update journal JSON (see repro.dynamic.updates)")
+    update.add_argument("--save-snapshot",
+                        help="write the maintained snapshot here")
+    update.add_argument("--output", "-o",
+                        help="also write the maintained spanner graph here")
+    update.add_argument("--certify", action="store_true",
+                        help="run is_ft_spanner over the maintained spanner "
+                             "(exit code reflects the verdict)")
+    update.add_argument("--method", choices=["auto", "exhaustive", "sampled"],
+                        default="auto")
+    update.add_argument("--samples", type=int, default=100,
+                        help="fault sets per sampled certification")
+    update.add_argument("--json", action="store_true",
+                        help="emit the maintenance report as JSON")
+    update.set_defaults(func=_cmd_update)
+
+    replay = sub.add_parser(
+        "replay",
+        help="deterministically replay an update journal onto a graph file")
+    replay.add_argument("input", help="base graph (.json or edge list)")
+    add_spec_options(replay)
+    replay.add_argument("--journal", "-j", required=True,
+                        help="update journal JSON (see repro.dynamic.updates)")
+    replay.add_argument("--output", "-o", help="where to write the final graph")
+    replay.add_argument("--check", action="store_true",
+                        help="also maintain a spanner through the journal and "
+                             "certify it against a from-scratch rebuild at "
+                             "the final graph")
+    replay.add_argument("--method", choices=["auto", "exhaustive", "sampled"],
+                        default="auto")
+    replay.add_argument("--samples", type=int, default=100,
+                        help="fault sets per sampled certification")
+    replay.add_argument("--json", action="store_true",
+                        help="emit the replay report as JSON")
+    replay.set_defaults(func=_cmd_replay)
 
     lister = sub.add_parser(
         "list", help="list algorithms, experiments, and workloads")

@@ -1,0 +1,74 @@
+"""Dynamic updates: incremental spanner maintenance under live edge churn.
+
+Real networks mutate while queries are in flight — links appear, fail, and
+get re-weighted.  This package maintains a valid ``f``-fault-tolerant
+``k``-spanner across such a stream without rebuilding from scratch:
+
+* :mod:`repro.dynamic.updates` — the typed ops (:class:`EdgeInsert` /
+  :class:`EdgeDelete` / :class:`WeightChange`) and the append-only,
+  JSON-round-trippable :class:`UpdateJournal` whose replay deterministically
+  reproduces the maintained state;
+* :mod:`repro.dynamic.maintain` — :class:`DynamicSpanner`: insertions run
+  the paper's greedy acceptance test on just the new edge; deletions and
+  weight increases open a provably sufficient *dirty region* that is
+  repaired by re-running the acceptance sweep over candidate replacement
+  edges only (sharded through :mod:`repro.runtime` when workers are
+  configured, byte-identical to the serial sweep);
+* :mod:`repro.dynamic.repair` — the dirty-region filter (two SSSP runs
+  bound which rejected edges can flip), keyed on :attr:`Graph.version`
+  deltas, plus the :func:`~repro.dynamic.repair.certify` ground-truth hook
+  (= :func:`~repro.spanners.verify.is_ft_spanner`);
+* :mod:`repro.dynamic.live` — :class:`LiveEngine`: the batched
+  :class:`~repro.engine.engine.QueryEngine` over the live spanner, with
+  updates atomically invalidating exactly the cached answers they obsolete.
+
+The maintained spanner carries the same ``k``/``f`` guarantee as a fresh
+build after every update (property-tested in ``tests/test_dynamic.py``
+against both fault models); its size may exceed the from-scratch greedy's
+by the online-vs-offline gap measured in ``benchmarks/bench_dynamic.py``.
+"""
+
+from repro.dynamic.updates import (
+    JOURNAL_FORMAT,
+    ChurnState,
+    EdgeDelete,
+    EdgeInsert,
+    UpdateError,
+    UpdateJournal,
+    UpdateOp,
+    WeightChange,
+    random_journal,
+    update_from_json,
+    update_to_json,
+)
+from repro.dynamic.repair import (
+    CertificationRecord,
+    DirtyRegion,
+    all_rejected_candidates,
+    certify,
+    dirty_candidates,
+)
+from repro.dynamic.maintain import DynamicSpanner, UpdateOutcome
+from repro.dynamic.live import LiveEngine
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "ChurnState",
+    "EdgeDelete",
+    "EdgeInsert",
+    "UpdateError",
+    "UpdateJournal",
+    "UpdateOp",
+    "WeightChange",
+    "random_journal",
+    "update_from_json",
+    "update_to_json",
+    "CertificationRecord",
+    "DirtyRegion",
+    "all_rejected_candidates",
+    "certify",
+    "dirty_candidates",
+    "DynamicSpanner",
+    "UpdateOutcome",
+    "LiveEngine",
+]

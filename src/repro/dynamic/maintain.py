@@ -1,0 +1,486 @@
+"""Incremental maintenance of a fault-tolerant greedy spanner under churn.
+
+:class:`DynamicSpanner` keeps the paper's invariant alive across a stream of
+edge updates without rebuilding from scratch.  The invariant is the one the
+FT-greedy construction establishes and its correctness proof consumes:
+
+    for every edge ``(u, v, w)`` of ``G`` **outside** ``H`` and every fault
+    set ``|F| <= f``:   ``dist_{H \\ F}(u, v) <= k * w``.
+
+(Edges inside ``H`` need no condition — they survive in ``H \\ F`` whenever
+they survive in ``G \\ F``.)  Standard path-decomposition then gives
+``dist_{H\\F}(s, t) <= k * dist_{G\\F}(s, t)`` for *all* pairs, i.e. ``H`` is
+a valid ``f``-fault-tolerant ``k``-spanner.  Each update kind preserves the
+invariant with bounded work:
+
+* **insert** — adds exactly one new condition (the new edge's own), so one
+  oracle acceptance test decides membership; every existing condition is
+  untouched (``H`` only gains edges, distances only shrink).
+* **delete / weight-increase of a spanner edge** — conditions of rejected
+  edges whose witness paths routed through the touched edge may break.
+  :func:`repro.dynamic.repair.dirty_candidates` bounds that set soundly with
+  two SSSP runs; the dirty candidates are re-swept in greedy order
+  (increasing weight), re-admitting exactly the ones the oracle now breaks.
+  With ``spec.workers > 1`` the sweep's fault checks shard through
+  :mod:`repro.runtime` as one speculative batch against the frozen ``H`` —
+  monotone-safe rejects, version-guarded accepts — so the repaired spanner
+  and its witnesses are **byte-identical** to the serial sweep (the same
+  argument, and the same worker entry point, as the parallel FT-greedy
+  build).
+* **delete / weight-increase of a rejected edge, weight-decrease of a
+  spanner edge** — provably free: the touched condition disappears or
+  every surviving condition only slackens.
+* **weight-decrease of a rejected edge** — its own budget tightened; one
+  acceptance test at the new weight decides re-admission.
+
+The maintained spanner carries the same ``k``/``f`` guarantee as a fresh
+build at every step, but its *size* may exceed the from-scratch greedy's:
+updates arrive in time order, not weight order, so early acceptances cannot
+be revisited when later, lighter edges land (the classic online-vs-offline
+greedy gap).  ``benchmarks/bench_dynamic.py`` measures that factor alongside
+the latency win; the acceptance tests bound it.
+
+Everything applied through :meth:`DynamicSpanner.apply` is also appended to
+an internal :class:`~repro.dynamic.updates.UpdateJournal`, so any maintained
+state can be reproduced by replaying the journal against the base graph.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.build.registry import validate_spec
+from repro.build.spec import BuildError, BuildSpec
+from repro.dynamic.repair import (
+    Candidate,
+    CertificationRecord,
+    DirtyRegion,
+    certify,
+    dirty_candidates,
+)
+from repro.dynamic.updates import (
+    EdgeDelete,
+    EdgeInsert,
+    UpdateError,
+    UpdateJournal,
+    UpdateOp,
+    WeightChange,
+)
+from repro.faults.models import FaultSet, get_fault_model
+from repro.graph.core import Graph, edge_key
+from repro.graph.csr import csr_snapshot
+from repro.runtime.backend import ExecutionBackend, get_backend
+from repro.runtime.shard import split_sequence
+from repro.spanners.base import SpannerResult
+from repro.spanners.fault_check import get_oracle
+from repro.spanners.ft_greedy import _ft_check_chunk, _FTCheckContext
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("dynamic.maintain")
+
+#: Sweeps smaller than this stay serial even when workers are configured —
+#: a process-pool dispatch costs more than a handful of oracle calls.
+_PARALLEL_SWEEP_MIN = 8
+
+
+@dataclass(frozen=True)
+class UpdateOutcome:
+    """What one applied update did to the maintained spanner.
+
+    ``accepted`` is the acceptance-test verdict for ops that ran one (new or
+    re-weighted candidate edges); ``None`` for ops that needed no test.
+    ``region`` is the dirty region a destructive op opened (``None`` for the
+    provably free cases), and ``repair_added`` lists the candidates the
+    repair sweep re-admitted into ``H``.
+    """
+
+    update: UpdateOp
+    accepted: Optional[bool] = None
+    region: Optional[DirtyRegion] = None
+    repair_added: Tuple[Candidate, ...] = ()
+    spanner_changed: bool = False
+    graph_version: int = 0
+    spanner_version: int = 0
+    maintenance_seconds: float = 0.0
+
+
+class DynamicSpanner:
+    """A live graph plus an incrementally maintained FT-greedy spanner.
+
+    Parameters
+    ----------
+    graph:
+        The live graph ``G`` — owned by the maintainer from here on; apply
+        every further mutation through :meth:`apply`.
+    spec:
+        The construction contract to maintain.  Must name an algorithm of
+        the FT-greedy family (``ft-greedy`` / ``vft-greedy`` /
+        ``eft-greedy``): the maintained invariant is exactly the one that
+        family establishes, and an exact oracle is required for the same
+        reason the parallel builder requires one — a heuristic ``None`` is
+        not evidence the invariant holds.
+    result:
+        Optionally adopt an already-built :class:`SpannerResult` for this
+        exact ``(graph, spec)`` pair instead of building from scratch.
+
+    Examples
+    --------
+    >>> from repro.graph import generators
+    >>> from repro.build import BuildSpec
+    >>> from repro.dynamic import DynamicSpanner, EdgeInsert
+    >>> graph = generators.gnm(24, 60, rng=0, connected=True)
+    >>> dyn = DynamicSpanner(graph, BuildSpec("ft-greedy", stretch=3, max_faults=1))
+    >>> outcome = dyn.apply(EdgeInsert(0, 9, 0.8)) if not graph.has_edge(0, 9) else None
+    >>> dyn.certify(method="sampled", samples=20, rng=0).ok
+    True
+    """
+
+    def __init__(self, graph: Graph, spec: BuildSpec, *,
+                 result: Optional[SpannerResult] = None):
+        entry = validate_spec(spec)
+        caps = entry.capabilities
+        if not (caps.fault_tolerant and caps.produces_witnesses
+                and caps.accepts_oracle):
+            raise BuildError(
+                f"DynamicSpanner maintains the FT-greedy invariant; algorithm "
+                f"{spec.algorithm!r} does not establish it (need an "
+                f"ft-greedy-family spec, got capabilities "
+                f"[{caps.describe()}])")
+        self.spec = spec
+        self.graph = graph
+        # validate_spec already enforced model/algorithm compatibility (the
+        # pinned vft/eft variants reject mismatched spec models outright).
+        self.model = get_fault_model(spec.fault_model)
+        self.oracle = get_oracle(spec.oracle)
+        if not self.oracle.exact:
+            raise BuildError(
+                "incremental maintenance requires an exact oracle: the "
+                f"heuristic {self.oracle.name!r} oracle's misses are not "
+                "evidence the maintained invariant holds")
+        self.stretch = spec.stretch
+        self.max_faults = spec.max_faults
+        if result is None:
+            from repro.build import build
+            result = build(graph, spec)
+        elif result.spanner is None or not result.spanner.is_subgraph_of(graph):
+            raise BuildError("adopted result's spanner is not a subgraph of "
+                             "the maintained graph")
+        self.spanner: Graph = result.spanner
+        self.witnesses: Dict[Tuple, FaultSet] = dict(result.witness_fault_sets)
+        # Compile H's CSR up front (kept in sync across accepts, recompiled
+        # after removals) so acceptance tests never pay a cold compile.
+        csr_snapshot(self.spanner)
+        #: Every update applied through :meth:`apply`, in order — replaying
+        #: this journal against the base graph reproduces the final graph.
+        self.journal = UpdateJournal(name="applied-updates")
+        #: Dirty regions opened by destructive updates, in order.
+        self.repair_log: List[DirtyRegion] = []
+        #: Certification outcomes, in order.
+        self.certifications: List[CertificationRecord] = []
+        self.updates_applied = 0
+        self.incremental_accepts = 0
+        self.incremental_rejects = 0
+        self.repairs = 0
+        self.repair_edges_added = 0
+        self.dirty_candidates_checked = 0
+        self.dirty_pool_seen = 0
+        self.maintenance_seconds = 0.0
+        self._base_oracle_queries = self.oracle.stats.queries
+        # Oracle work done inside worker processes (their per-process stats
+        # never reach self.oracle.stats) — folded into stats() so parallel
+        # runs report actual speculative work, like the parallel builder.
+        self._worker_oracle_queries = 0
+        self._worker_distance_queries = 0
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_snapshot(cls, snapshot, spec: Optional[BuildSpec] = None) -> "DynamicSpanner":
+        """Resume maintenance from a serving snapshot.
+
+        The snapshot must carry the original graph (that *is* the live
+        graph) and either record its build spec or be handed one.  Witness
+        fault sets are not serialised in snapshots, so a resumed maintainer
+        re-derives witnesses only for edges it adds from now on.
+        """
+        if snapshot.original is None:
+            raise BuildError(
+                "snapshot kept no original graph; incremental maintenance "
+                "needs the live graph, not just the spanner")
+        spec = spec if spec is not None else snapshot.build_spec
+        if spec is None:
+            raise BuildError(
+                "snapshot records no build spec; pass the spec to maintain")
+        result = SpannerResult(
+            spanner=snapshot.spanner, original=snapshot.original,
+            stretch=spec.stretch, max_faults=spec.max_faults,
+            fault_model=get_fault_model(spec.fault_model).name,
+            algorithm=snapshot.algorithm or spec.algorithm)
+        return cls(snapshot.original, spec, result=result)
+
+    # -------------------------------------------------------------- the oracle
+    def _accept(self, u, v, weight: float) -> Optional[FaultSet]:
+        """The paper's acceptance test for one candidate edge against live H."""
+        return self.oracle.find_breaking_fault_set(
+            self.spanner, u, v, self.stretch * weight, self.max_faults,
+            self.model)
+
+    # ----------------------------------------------------------------- updates
+    def apply(self, update: UpdateOp) -> UpdateOutcome:
+        """Apply one update to ``G`` and repair ``H``; returns what happened.
+
+        Raises :class:`~repro.dynamic.updates.UpdateError` (and changes
+        nothing) when the op does not fit the live graph.
+        """
+        started = time.perf_counter()
+        if isinstance(update, EdgeInsert):
+            outcome = self._apply_insert(update)
+        elif isinstance(update, EdgeDelete):
+            outcome = self._apply_delete(update)
+        elif isinstance(update, WeightChange):
+            outcome = self._apply_reweight(update)
+        else:
+            raise UpdateError(f"not an update op: {update!r}")
+        elapsed = time.perf_counter() - started
+        self.maintenance_seconds += elapsed
+        self.updates_applied += 1
+        self.journal.append(update)
+        return UpdateOutcome(
+            update=update,
+            accepted=outcome[0],
+            region=outcome[1],
+            repair_added=outcome[2],
+            spanner_changed=outcome[3],
+            graph_version=self.graph.version,
+            spanner_version=self.spanner.version,
+            maintenance_seconds=elapsed,
+        )
+
+    def apply_journal(self, journal: Iterable[UpdateOp]) -> List[UpdateOutcome]:
+        """Apply every op of a journal in order; returns the outcomes."""
+        return [self.apply(update) for update in journal]
+
+    def _apply_insert(self, update: EdgeInsert):
+        update.apply(self.graph)
+        # The spanner spans every node of G; new endpoints enter H edgeless.
+        self.spanner.add_node(update.u)
+        self.spanner.add_node(update.v)
+        fault_set = self._accept(update.u, update.v, update.weight)
+        if fault_set is not None:
+            self.spanner.add_edge(update.u, update.v, update.weight)
+            self.witnesses[update.edge] = fault_set
+            self.incremental_accepts += 1
+            return True, None, (), True
+        self.incremental_rejects += 1
+        return False, None, (), False
+
+    def _apply_delete(self, update: EdgeDelete):
+        in_spanner = self.spanner.has_edge(update.u, update.v)
+        region = None
+        if in_spanner:
+            # Filter against the *old* H (still holding the edge): the dirty
+            # argument reasons about the witness paths that existed before.
+            candidates, pool = dirty_candidates(
+                self.graph, self.spanner, update.edge, self.stretch)
+            version_before = self.graph.version
+        update.apply(self.graph)
+        if not in_spanner:
+            # Deleting a rejected edge removes its own condition and touches
+            # no other: H is unchanged and G-side budgets are per-edge.
+            return None, None, (), False
+        self.spanner.remove_edge(update.u, update.v)
+        self.witnesses.pop(update.edge, None)
+        region = DirtyRegion(
+            trigger=update.edge, reason="delete", candidates=candidates,
+            candidate_pool=pool, version_before=version_before,
+            version_after=self.graph.version)
+        added = self._repair(region)
+        return None, region, added, True
+
+    def _apply_reweight(self, update: WeightChange):
+        if not self.graph.has_edge(update.u, update.v):
+            # Match update.apply()'s own validation so apply() keeps its
+            # "raises UpdateError, changes nothing" contract on this path too.
+            raise UpdateError(
+                f"reweight of missing edge {update.edge!r}; use EdgeInsert")
+        old_weight = self.graph.weight(update.u, update.v)
+        new_weight = float(update.weight)
+        in_spanner = self.spanner.has_edge(update.u, update.v)
+        if in_spanner and new_weight > old_weight:
+            candidates, pool = dirty_candidates(
+                self.graph, self.spanner, update.edge, self.stretch,
+                edge_weight=old_weight)
+            version_before = self.graph.version
+        update.apply(self.graph)
+        if in_spanner:
+            # H mirrors G's weights (H is a subgraph *with matching
+            # weights*); an overwrite keeps the edge in both.
+            self.spanner.add_edge(update.u, update.v, new_weight)
+            if new_weight <= old_weight:
+                # Distances in H only shrink: every rejected-edge condition
+                # stays satisfied. Provably free.
+                return None, None, (), True
+            region = DirtyRegion(
+                trigger=update.edge, reason="reweight", candidates=candidates,
+                candidate_pool=pool, version_before=version_before,
+                version_after=self.graph.version)
+            added = self._repair(region)
+            return None, region, added, True
+        if new_weight < old_weight:
+            # A rejected edge got cheaper: its own budget k*w tightened, so
+            # re-run its acceptance test; everything else is untouched.
+            fault_set = self._accept(update.u, update.v, new_weight)
+            if fault_set is not None:
+                self.spanner.add_edge(update.u, update.v, new_weight)
+                self.witnesses[update.edge] = fault_set
+                self.incremental_accepts += 1
+                return True, None, (), True
+            self.incremental_rejects += 1
+            return False, None, (), False
+        # A rejected edge got heavier: its budget grew, H is unchanged.
+        return None, None, (), False
+
+    # ------------------------------------------------------------------ repair
+    def _repair(self, region: DirtyRegion) -> Tuple[Candidate, ...]:
+        """Greedy acceptance sweep over one dirty region; returns re-admissions."""
+        self.repairs += 1
+        self.repair_log.append(region)
+        self.dirty_candidates_checked += len(region.candidates)
+        self.dirty_pool_seen += region.candidate_pool
+        if not region.candidates:
+            return ()
+        backend = get_backend(self.spec.backend, self.spec.workers)
+        if backend.workers > 1 and len(region.candidates) >= _PARALLEL_SWEEP_MIN:
+            added = self._sweep_parallel(region.candidates, backend)
+        else:
+            added = self._sweep_serial(region.candidates)
+        self.repair_edges_added += len(added)
+        if added:
+            _LOGGER.debug("repair after %s %s: %d/%d dirty candidates re-admitted",
+                          region.reason, region.trigger, len(added),
+                          len(region.candidates))
+        return tuple(added)
+
+    def _sweep_serial(self, candidates: Tuple[Candidate, ...]) -> List[Candidate]:
+        added: List[Candidate] = []
+        for u, v, w in candidates:
+            fault_set = self._accept(u, v, w)
+            if fault_set is not None:
+                self.spanner.add_edge(u, v, w)
+                self.witnesses[edge_key(u, v)] = fault_set
+                added.append((u, v, w))
+        return added
+
+    def _sweep_parallel(self, candidates: Tuple[Candidate, ...],
+                        backend: ExecutionBackend) -> List[Candidate]:
+        """One speculative batch against the frozen H — byte-identical to serial.
+
+        The correctness argument is the parallel FT-greedy build's, and so
+        is the worker entry point (:func:`repro.spanners.ft_greedy._ft_check_chunk`):
+        rejects against the batch-start ``H`` are monotone-safe, accepts are
+        trusted only while ``H`` is unchanged and replayed serially
+        otherwise.  Dirty regions are small, so a single batch (no geometric
+        growth) covers them.
+        """
+        ship_elements = self.oracle.name == "exhaustive"
+        h_version = self.spanner.version
+        context = _FTCheckContext(
+            csr=csr_snapshot(self.spanner), fault_model=self.model.name,
+            oracle=self.oracle.name, max_faults=self.max_faults,
+            nodes=(tuple(self.spanner.nodes())
+                   if ship_elements and self.model.uses_vertex_mask else None),
+            edges=(tuple(self.spanner.edge_keys())
+                   if ship_elements and not self.model.uses_vertex_mask else None),
+        )
+        tasks = [(u, v, self.stretch * w) for u, v, w in candidates]
+        speculative: List[Optional[FaultSet]] = []
+        for chunk_found, queries, distance_queries in backend.map(
+                _ft_check_chunk, split_sequence(tasks, backend.workers),
+                context=context):
+            speculative.extend(chunk_found)
+            self._worker_oracle_queries += queries
+            self._worker_distance_queries += distance_queries
+        added: List[Candidate] = []
+        for (u, v, w), fault_set in zip(candidates, speculative):
+            if fault_set is None:
+                continue  # monotone-safe: serial would reject too
+            if self.spanner.version != h_version:
+                fault_set = self._accept(u, v, w)
+                if fault_set is None:
+                    continue
+            self.spanner.add_edge(u, v, w)
+            self.witnesses[edge_key(u, v)] = fault_set
+            added.append((u, v, w))
+        return added
+
+    # ----------------------------------------------------------- certification
+    def certify(self, *, method: str = "auto", samples: int = 200, rng=None,
+                exhaustive_limit: int = 50_000) -> CertificationRecord:
+        """Ground-truth check of the maintained spanner, sharded per the spec.
+
+        Runs :func:`repro.dynamic.repair.certify` (=
+        :func:`~repro.spanners.verify.is_ft_spanner`) with the spec's
+        stretch/budget/model and its ``workers``/``backend`` knobs; the
+        record is appended to :attr:`certifications`.
+        """
+        report = certify(
+            self.graph, self.spanner, self.stretch, self.max_faults,
+            self.model.name, method=method, samples=samples,
+            rng=self.spec.seed if rng is None else rng,
+            exhaustive_limit=exhaustive_limit,
+            workers=self.spec.workers, backend=self.spec.backend)
+        record = CertificationRecord(
+            report=report, graph_version=self.graph.version,
+            spanner_version=self.spanner.version,
+            updates_applied=self.updates_applied)
+        self.certifications.append(record)
+        return record
+
+    def rebuild(self) -> SpannerResult:
+        """A from-scratch build of the spec at the *current* graph.
+
+        The offline baseline the maintained spanner is compared against: the
+        guarantee is identical, the size may be smaller (weight order beats
+        arrival order) — this is the documented size-vs-rebuild trade-off.
+        """
+        from repro.build import build
+        return build(self.graph, self.spec)
+
+    # ----------------------------------------------------------------- reports
+    def stats(self) -> Dict[str, Any]:
+        """Flat maintenance report (counters, region selectivity, oracle work)."""
+        return {
+            "spec": self.spec.to_json(),
+            "graph_nodes": self.graph.number_of_nodes(),
+            "graph_edges": self.graph.number_of_edges(),
+            "spanner_edges": self.spanner.number_of_edges(),
+            "graph_version": self.graph.version,
+            "spanner_version": self.spanner.version,
+            "updates_applied": self.updates_applied,
+            "update_counts": self.journal.counts(),
+            "incremental_accepts": self.incremental_accepts,
+            "incremental_rejects": self.incremental_rejects,
+            "repairs": self.repairs,
+            "repair_edges_added": self.repair_edges_added,
+            "dirty_candidates_checked": self.dirty_candidates_checked,
+            "dirty_pool_seen": self.dirty_pool_seen,
+            "dirty_selectivity": (self.dirty_candidates_checked / self.dirty_pool_seen
+                                  if self.dirty_pool_seen else 0.0),
+            # Actual (speculative + recheck) work, workers included; unlike
+            # the spanner and witnesses this is *not* identical to serial.
+            "oracle_queries": (self.oracle.stats.queries
+                               - self._base_oracle_queries
+                               + self._worker_oracle_queries),
+            "maintenance_seconds": self.maintenance_seconds,
+            "certifications": len(self.certifications),
+            "last_certification_ok": (self.certifications[-1].ok
+                                      if self.certifications else None),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DynamicSpanner {self.spec.summary()} "
+                f"n={self.graph.number_of_nodes()} "
+                f"m={self.graph.number_of_edges()} "
+                f"|H|={self.spanner.number_of_edges()} "
+                f"updates={self.updates_applied}>")

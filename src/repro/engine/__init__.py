@@ -35,6 +35,7 @@ from repro.engine.workload import (
     fault_churn_sessions,
     split_batches,
     uniform_workload,
+    update_churn,
     zipf_workload,
 )
 
@@ -51,5 +52,6 @@ __all__ = [
     "uniform_workload",
     "zipf_workload",
     "fault_churn_sessions",
+    "update_churn",
     "split_batches",
 ]

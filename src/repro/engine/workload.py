@@ -12,7 +12,14 @@ Three traffic shapes, mirroring how real distance services are exercised:
   fault set (the currently failed elements) and issues many queries against
   it before the fault set *churns* to the next session's.  This is the
   paper's fault model as seen from a service: faults change slowly relative
-  to query rate.
+  to query rate;
+* :func:`update_churn` — the fault-churn shape with the *graph itself*
+  churning too: each session opens with a burst of edge updates
+  (:mod:`repro.dynamic.updates` ops against the simulated live edge set)
+  before its pinned-fault queries.  This is the
+  :class:`~repro.dynamic.live.LiveEngine` benchmark workload — updates are
+  rare relative to queries, exactly the regime incremental maintenance
+  targets.
 
 Everything is deterministic from a seed via :func:`repro.utils.rng.ensure_rng`;
 fault sets are drawn through the snapshot's fault model, so the same
@@ -130,6 +137,56 @@ def fault_churn_sessions(graph: Graph, num_sessions: int,
             source, target = rng.sample(nodes, 2)
             queries.append(Query(source, target, faults))
     return queries
+
+
+def update_churn(graph: Graph, num_sessions: int, queries_per_session: int, *,
+                 updates_per_session: int = 4, max_faults: int = 1,
+                 fault_model: "str | FaultModel" = "vertex",
+                 update_mix: Tuple[float, float, float] = (0.4, 0.3, 0.3),
+                 weight_range: Tuple[float, float] = (0.5, 2.0),
+                 rng=None) -> List:
+    """Mixed query/update traffic: fault-churn sessions over a churning graph.
+
+    Extends :func:`fault_churn_sessions`: each session opens with
+    ``updates_per_session`` edge updates — :class:`~repro.dynamic.updates.EdgeInsert`
+    / ``EdgeDelete`` / ``WeightChange`` ops drawn against the *simulated live
+    edge set* (inserts pick current non-edges, deletes and reweights current
+    edges, so the stream applies cleanly in order) — then pins one fault set
+    and issues ``queries_per_session`` queries against it.  Under the edge
+    fault model the pinned fault sets are drawn from the session's current
+    edge set, so they stay live faults rather than references to deleted
+    edges.
+
+    Returns the flat event stream a live service would see: a list whose
+    items are either :class:`Query` or an update op, in arrival order.
+    Consumers batch the query runs between updates (that is exactly what
+    :meth:`~repro.dynamic.live.LiveEngine.apply` + ``distances_batch``
+    exploit; ``benchmarks/bench_dynamic.py`` is the reference consumer).
+    """
+    from repro.dynamic.updates import ChurnState, _validate_churn_params
+
+    if updates_per_session < 0:
+        raise ValueError("updates_per_session must be non-negative")
+    low, high = _validate_churn_params(update_mix, weight_range)
+    rng = ensure_rng(rng)
+    model = get_fault_model(fault_model)
+    nodes, _ = _traffic_population(graph, model)
+    # The simulated live edge set evolves through the same seeded draw the
+    # journal generator uses, so both stay valid-in-order by construction.
+    state = ChurnState(graph)
+    events: List = []
+    for _ in range(num_sessions):
+        for _ in range(updates_per_session):
+            update = state.draw(rng, update_mix, low, high)
+            if update is None:
+                break
+            events.append(update)
+        elements = nodes if model.uses_vertex_mask else state.live_edges
+        faults = _draw_fault_set(list(elements), max_faults, rng)
+        for _ in range(queries_per_session):
+            source, target = rng.sample(nodes, 2)
+            events.append(Query(source, target, faults))
+    return events
 
 
 def split_batches(queries: List[Query], batch_size: int) -> Iterable[List[Query]]:

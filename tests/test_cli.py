@@ -257,3 +257,122 @@ class TestServeAndQueryCommands:
         document = json.loads(capsys.readouterr().out)
         assert document["reachable"] is True
         assert document["distance"] is not None
+
+
+class TestUpdateAndReplayCommands:
+    @pytest.fixture
+    def journal_file(self, graph_file, tmp_path):
+        from repro.dynamic import random_journal
+        _, graph = graph_file
+        path = tmp_path / "journal.json"
+        random_journal(graph, 20, rng=3).save(path)
+        return path
+
+    def test_update_from_snapshot_certify_and_save(self, graph_file,
+                                                   journal_file, tmp_path,
+                                                   capsys):
+        path, _ = graph_file
+        snap = tmp_path / "snap.json"
+        assert main(["build", str(path), "-f", "1",
+                     "--save-snapshot", str(snap)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "maintained.json"
+        code = main(["update", str(snap), "-j", str(journal_file),
+                     "--certify", "--save-snapshot", str(out)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "20 updates" in output and "VERDICT: OK" in output
+        # The refreshed snapshot records the spec and the update count, and
+        # reflects the replayed graph (not the build-time one).
+        from repro.dynamic import UpdateJournal
+        from repro.engine.snapshot import SpannerSnapshot
+        refreshed = SpannerSnapshot.load(out)
+        assert refreshed.metadata["updates_applied"] == 20
+        from repro.graph.io import read_json
+        final = UpdateJournal.load(journal_file).replay(read_json(path))
+        assert refreshed.original.same_structure(final)
+
+    def test_update_from_graph_file_json_report(self, graph_file,
+                                                journal_file, capsys):
+        path, _ = graph_file
+        code = main(["update", str(path), "-f", "1", "-j", str(journal_file),
+                     "--certify", "--method", "sampled", "--samples", "20",
+                     "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["updates_applied"] == 20
+        assert report["certified"]["ok"] is True
+        assert report["spec"]["algorithm"] == "ft-greedy"
+
+    def test_update_refuses_non_maintainable_spec(self, graph_file,
+                                                  journal_file):
+        path, _ = graph_file
+        # --faults 0 resolves the auto algorithm to plain greedy, which the
+        # maintainer rejects (it cannot establish the FT-greedy invariant).
+        assert main(["update", str(path), "-j", str(journal_file)]) == 2
+
+    def test_update_rejects_flags_conflicting_with_recorded_spec(
+            self, graph_file, journal_file, tmp_path, capsys):
+        path, _ = graph_file
+        snap = tmp_path / "snap.json"
+        assert main(["build", str(path), "-f", "1",
+                     "--save-snapshot", str(snap)]) == 0
+        capsys.readouterr()
+        # The snapshot was built at f=1/k=3; asking update to certify a
+        # different contract must error out, not silently use the recorded
+        # one (the user would read an OK verdict for the wrong guarantee).
+        assert main(["update", str(snap), "-j", str(journal_file),
+                     "-f", "2", "--certify"]) == 2
+        assert main(["update", str(snap), "-j", str(journal_file),
+                     "-k", "2"]) == 2
+        # Even an explicit value equal to the usual argparse default is a
+        # conflict when it contradicts the recorded spec (sentinel parsing
+        # tells "not given" apart from "given at the default")...
+        snap5 = tmp_path / "snap5.json"
+        assert main(["build", str(path), "-f", "1", "-k", "5",
+                     "--save-snapshot", str(snap5)]) == 0
+        capsys.readouterr()
+        assert main(["update", str(snap5), "-j", str(journal_file),
+                     "-k", "3"]) == 2
+        assert main(["update", str(snap5), "-j", str(journal_file),
+                     "-f", "0"]) == 2
+        # ... and so are algorithm params the recorded spec never carried.
+        assert main(["update", str(snap), "-j", str(journal_file),
+                     "-P", "progress_every=5"]) == 2
+        # Matching (or omitted) construction flags are fine, and execution
+        # knobs are never part of the contract.
+        assert main(["update", str(snap), "-j", str(journal_file),
+                     "-f", "1", "-k", "3", "--workers", "1"]) == 0
+
+    def test_replay_writes_final_graph(self, graph_file, journal_file,
+                                       tmp_path, capsys):
+        path, graph = graph_file
+        out = tmp_path / "final.json"
+        code = main(["replay", str(path), "-j", str(journal_file),
+                     "-o", str(out)])
+        assert code == 0
+        assert "replayed" in capsys.readouterr().out
+        final = read_json(out)
+        from repro.dynamic import UpdateJournal
+        expected = UpdateJournal.load(journal_file).replay(graph)
+        assert final.same_structure(expected)
+
+    def test_replay_check_compares_maintained_vs_rebuilt(self, graph_file,
+                                                         journal_file, capsys):
+        path, _ = graph_file
+        code = main(["replay", str(path), "-f", "1", "-j", str(journal_file),
+                     "--check", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["check"]["maintained_ok"] is True
+        assert report["check"]["rebuilt_ok"] is True
+        assert report["check"]["size_ratio"] >= 1.0 - 1e-9
+
+    def test_replay_journal_mismatch_is_a_clean_error(self, graph_file,
+                                                      tmp_path):
+        path, graph = graph_file
+        from repro.dynamic import EdgeDelete, UpdateJournal
+        bogus = tmp_path / "bogus.json"
+        missing = ("zz1", "zz2")  # endpoints not in the graph at all
+        UpdateJournal([EdgeDelete(*missing)]).save(bogus)
+        assert main(["replay", str(path), "-j", str(bogus)]) == 2

@@ -360,3 +360,105 @@ def test_edge_ids_are_stable_across_compaction():
     snap.compact()
     for (u, v), eid in ids.items():
         assert snap.edge_id(u, v) == eid
+
+
+# --------------------------------------------------------------------------
+# Interleaved add/remove: version-bump and cache-staleness audit
+# --------------------------------------------------------------------------
+# Removals drop the cached snapshot outright (no in-place patching), so the
+# hazard to guard is *aliasing*: a remove -> add round trip of the same edge
+# key must never leave any version-keyed consumer able to mistake the new
+# structure for the old one.
+
+def test_remove_then_readd_same_edge_key_recompiles_fresh():
+    """Regression: snapshot staleness after remove -> add of one edge key."""
+    graph = Graph(edges=[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 2.0)])
+    stale = csr_snapshot(graph)
+    stale_version = stale.graph_version
+    old_eid = stale.edge_id(0, 1)
+    graph.remove_edge(0, 1)
+    graph.add_edge(0, 1, 7.5)  # same key, different weight
+    # The version counter is monotone: the round trip can never re-reach the
+    # version the stale snapshot was compiled at, so version-keyed caches
+    # (csr_snapshot itself, the engine's result cache) cannot alias it.
+    assert graph.version > stale_version
+    assert stale.graph_version == stale_version  # untouched, held by us only
+    rebuilt = csr_snapshot(graph)
+    assert rebuilt is not stale
+    assert rebuilt.graph_version == graph.version
+    # The recompiled snapshot serves the *new* weight on every arc of {0,1}.
+    eid = rebuilt.edge_id(0, 1)
+    assert eid is not None
+    arc_weights = [w for index in (0, 1)
+                   for _, w, e in rebuilt.arcs(index) if e == eid]
+    assert arc_weights == [7.5, 7.5]
+    # ... while the stale object still carries the old one (proving a holder
+    # of the old snapshot would have been wrong — which is exactly why the
+    # cache key must move).
+    stale_weights = [w for index in (0, 1)
+                     for _, w, e in stale.arcs(index) if e == old_eid]
+    assert stale_weights == [1.0, 1.0]
+    assert bounded_dijkstra_csr(rebuilt, 0, 1, 10.0) == 2.0  # via 2, not 7.5
+
+
+def test_remove_then_readd_under_live_incremental_snapshot():
+    """The round trip also invalidates snapshots holding overflow appends."""
+    graph = Graph(edges=[(0, 1), (1, 2)])
+    snap = csr_snapshot(graph)
+    graph.add_edge(2, 3)       # lands in the live snapshot's overflow
+    assert csr_snapshot(graph) is snap
+    graph.remove_edge(2, 3)    # removal of an overflow arc drops the cache
+    assert csr_snapshot(graph) is not snap
+    graph.add_edge(2, 3, 4.0)  # same key back, new weight
+    rebuilt = csr_snapshot(graph)
+    assert rebuilt.edge_id(2, 3) is not None
+    assert [w for _, w, _ in rebuilt.arcs(rebuilt.index_of[3])] == [4.0]
+
+
+def test_remove_node_then_readd_reindexes_consistently():
+    """remove_node -> re-add of the node and its edges recompiles cleanly."""
+    graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (1, 3)])
+    csr_snapshot(graph)
+    graph.remove_node(1)
+    assert graph._csr_cache is None  # removal dropped the live snapshot
+    graph.add_edge(1, 0, 2.0)  # node 1 returns with a different neighbourhood
+    rebuilt = csr_snapshot(graph)
+    # Node 1 re-interned at the *end* of insertion order now.
+    assert rebuilt.node_of.index(1) == len(rebuilt.node_of) - 1
+    assert rebuilt.edge_id(0, 1) is not None
+    assert rebuilt.edge_id(1, 2) is None
+    assert rebuilt.edge_id(1, 3) is None
+
+
+def test_interleaved_add_remove_matches_fresh_compile():
+    """Property-style audit: any interleaving ends bit-identical to a fresh compile."""
+    rng = RandomSource(2026)
+    graph = Graph(nodes=range(12))
+    alive = {}
+    for step in range(300):
+        u, v = rng.sample(range(12), 2)
+        key = edge_key(u, v)
+        if key in alive and rng.bernoulli(0.45):
+            graph.remove_edge(u, v)
+            del alive[key]
+        elif key in alive and rng.bernoulli(0.3):
+            weight = rng.uniform(0.5, 3.0)
+            graph.add_edge(u, v, weight)  # overwrite (drops the cache)
+            alive[key] = weight
+        elif key not in alive:
+            weight = rng.uniform(0.5, 3.0)
+            graph.add_edge(u, v, weight)
+            alive[key] = weight
+        if step % 23 == 0:
+            snap = csr_snapshot(graph)  # sometimes keep a live snapshot warm
+            assert snap.graph_version == graph.version
+    snap = csr_snapshot(graph)
+    fresh = CSRGraph.from_graph(graph)
+    assert snap.node_of == fresh.node_of
+    assert snap.edge_index == fresh.edge_index
+    assert snap.num_edges == len(alive) == graph.number_of_edges()
+    snap.compact()
+    assert snap.indptr == fresh.indptr
+    assert snap.indices == fresh.indices
+    assert snap.weights == fresh.weights
+    assert snap.edge_ids == fresh.edge_ids
