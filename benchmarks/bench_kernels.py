@@ -157,6 +157,113 @@ def test_bounded_dijkstra_masked_csr_kernel(benchmark, masked_case):
 
 
 # ---------------------------------------------------------------------------
+# Loop vs numpy kernel backends (the registry's 100k-node gate)
+# ---------------------------------------------------------------------------
+
+#: The numpy backend must beat the loop backend by at least this factor on
+#: the 100k-node SSSP workload (asserted only when the gate arms).
+BACKEND_SPEEDUP_FLOOR = 5.0
+#: Arm the speedup assertion only when the loop run does real work — on a
+#: machine too fast/noisy to measure, the identity check still holds.
+_BACKEND_MIN_LOOP_SECONDS = 0.1
+
+
+def _spine_leaf_graph(num_hosts: int, num_leaves: int, num_spines: int):
+    """A spine-leaf fabric: hosts dual-homed to leaves, leaves to every spine.
+
+    The shape behind the registry's 100k-node threshold: huge and shallow
+    (diameter ~4), so the vectorized frontier sweep runs a handful of dense
+    array passes where the loop kernel pays per-arc Python overhead.
+    """
+    from repro.graph.core import Graph
+
+    graph = Graph(name=f"spine-leaf(h={num_hosts},l={num_leaves},s={num_spines})")
+    for s in range(num_spines):
+        graph.add_node(("spine", s))
+    for l in range(num_leaves):
+        graph.add_node(("leaf", l))
+        for s in range(num_spines):
+            graph.add_edge(("leaf", l), ("spine", s),
+                           1.0 + ((l * 7 + s) % 5) * 0.25)
+    for h in range(num_hosts):
+        a = h % num_leaves
+        b = (h * 13 + 1) % num_leaves
+        if b == a:
+            b = (b + 1) % num_leaves
+        graph.add_edge(("host", h), ("leaf", a), 1.0 + (h % 3) * 0.5)
+        graph.add_edge(("host", h), ("leaf", b), 1.0 + (h % 4) * 0.5)
+    return graph
+
+
+def record_loop_vs_numpy(path: "pathlib.Path | str" = None,
+                         num_hosts: int = 99_600, num_leaves: int = 400,
+                         num_spines: int = 32) -> dict:
+    """Time loop vs numpy SSSP on a 100k-node fabric; returns the report.
+
+    Asserts byte identity of the two backends' answers always, and the
+    >= ``BACKEND_SPEEDUP_FLOOR`` speedup whenever the gate arms (numpy
+    importable and the loop run slow enough to measure).  Folded into
+    ``BENCH_kernels.json`` by :func:`record_csr_vs_dict`.
+    """
+    from repro.paths.registry import AUTO_NODE_THRESHOLD, kernel_backend_names, get_kernels
+
+    graph = _spine_leaf_graph(num_hosts, num_leaves, num_spines)
+    csr = csr_snapshot(graph)
+    report = {
+        "benchmark": "SSSP on a spine-leaf fabric (loop vs numpy kernels)",
+        "nodes": csr.num_nodes, "edges": csr.num_edges,
+        "auto_threshold": AUTO_NODE_THRESHOLD,
+        "gated_to_numpy": csr.num_nodes >= AUTO_NODE_THRESHOLD,
+        "speedup_floor": BACKEND_SPEEDUP_FLOOR,
+    }
+    assert report["gated_to_numpy"], "benchmark instance must cross the gate"
+    if "numpy" not in kernel_backend_names():
+        report.update({"numpy_available": False, "speedup_asserted": False})
+        return report
+    loop = get_kernels("loop")
+    npk = get_kernels("numpy")
+    assert get_kernels("auto").resolve(csr) is npk
+    sources = [csr.index_of[("host", 0)], csr.index_of[("leaf", 0)],
+               csr.index_of[("spine", 0)]]
+    for source in sources:  # identity first, unconditionally
+        assert (loop.sssp_dijkstra_csr(csr, source)
+                == npk.sssp_dijkstra_csr(csr, source))
+    loop_s = _time_best_of(
+        lambda: [loop.sssp_dijkstra_csr(csr, s) for s in sources], repeats=2)
+    numpy_s = _time_best_of(
+        lambda: [npk.sssp_dijkstra_csr(csr, s) for s in sources], repeats=2)
+    speedup = loop_s / numpy_s
+    report.update({
+        "numpy_available": True,
+        "sources": len(sources),
+        "loop_ms": round(loop_s * 1e3, 1),
+        "numpy_ms": round(numpy_s * 1e3, 1),
+        "speedup": round(speedup, 2),
+        "speedup_asserted": loop_s >= _BACKEND_MIN_LOOP_SECONDS,
+    })
+    if report["speedup_asserted"]:
+        assert speedup >= BACKEND_SPEEDUP_FLOOR, (
+            f"numpy kernel speedup regressed below "
+            f"{BACKEND_SPEEDUP_FLOOR}x: {speedup:.2f}x")
+    return report
+
+
+@pytest.mark.benchmark(group="kernel-backends")
+@pytest.mark.parametrize("backend", ["loop", "numpy"])
+def test_sssp_backend(benchmark, backend):
+    from repro.paths.registry import get_kernels, kernel_backend_names
+
+    if backend not in kernel_backend_names():
+        pytest.skip(f"{backend} backend not available")
+    graph = _spine_leaf_graph(4_000, 40, 8)
+    csr = csr_snapshot(graph)
+    kernels = get_kernels(backend)
+    source = csr.index_of[("host", 0)]
+    dist, order = benchmark(lambda: kernels.sssp_dijkstra_csr(csr, source))
+    assert len(dist) == csr.num_nodes and len(order) > 1
+
+
+# ---------------------------------------------------------------------------
 # Script mode: record the CSR-vs-dict comparison in BENCH_kernels.json
 # ---------------------------------------------------------------------------
 
@@ -190,6 +297,7 @@ def record_csr_vs_dict(path: "pathlib.Path | str" = None) -> dict:
             "csr_kernel_ms": round(csr_s * 1e3, 3),
             "speedup": round(view_s / csr_s, 2),
         })
+    report["kernel_backends"] = record_loop_vs_numpy()
     pathlib.Path(path).write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -199,3 +307,11 @@ if __name__ == "__main__":
     for case in outcome["cases"]:
         print(f"n={case['n']} m={case['m']}: dict/view {case['dict_view_ms']}ms "
               f"csr kernel {case['csr_kernel_ms']}ms -> {case['speedup']}x")
+    backends = outcome["kernel_backends"]
+    if backends.get("numpy_available"):
+        print(f"loop vs numpy (n={backends['nodes']} m={backends['edges']}): "
+              f"loop {backends['loop_ms']}ms numpy {backends['numpy_ms']}ms "
+              f"-> {backends['speedup']}x"
+              f"{'' if backends['speedup_asserted'] else ' (not asserted)'}")
+    else:
+        print("loop vs numpy: numpy unavailable, comparison skipped")

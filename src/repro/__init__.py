@@ -82,8 +82,14 @@ from repro.runtime import (
     SerialBackend,
     get_backend,
 )
+from repro.paths import (
+    KernelBackend,
+    describe_kernel_backends,
+    get_kernels,
+    kernel_backend_names,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Graph",
@@ -132,5 +138,9 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "get_backend",
+    "KernelBackend",
+    "describe_kernel_backends",
+    "get_kernels",
+    "kernel_backend_names",
     "__version__",
 ]

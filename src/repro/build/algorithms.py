@@ -50,7 +50,7 @@ def _run_ft_greedy(graph: Graph, spec: BuildSpec, ctx: BuildContext,
         oracle=spec.oracle,
         record_witnesses=spec.params.get("record_witnesses", True),
         progress_every=spec.params.get("progress_every", 0),
-        workers=spec.workers, backend=spec.backend,
+        workers=spec.workers, backend=spec.backend, kernel=spec.kernel,
         on_progress=ctx.on_progress, should_cancel=ctx.should_cancel)
 
 

@@ -144,7 +144,8 @@ class BuildSession:
             self.graph, result.spanner, self.spec.stretch,
             self.spec.max_faults, fault_model=fault_model, method=method,
             samples=samples, rng=self.spec.seed if rng is None else rng,
-            workers=self.spec.workers, backend=self.spec.backend)
+            workers=self.spec.workers, backend=self.spec.backend,
+            kernel=self.spec.kernel)
         self._ctx.progress("verify", 1, 1)
         return self._report
 
@@ -180,7 +181,8 @@ class BuildSession:
         return QueryEngine(self.snapshot(), cache_size=cache_size,
                            admit_threshold=admit_threshold,
                            backend=self.spec.backend,
-                           workers=self.spec.workers)
+                           workers=self.spec.workers,
+                           kernel=self.spec.kernel)
 
     def dynamic(self):
         """A :class:`~repro.dynamic.maintain.DynamicSpanner` over the result.

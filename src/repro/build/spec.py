@@ -65,6 +65,12 @@ class BuildSpec:
         Execution knobs resolved through
         :func:`repro.runtime.backend.get_backend`.  ``workers > 1`` requires
         the algorithm to declare itself parallelizable.
+    kernel:
+        Kernel backend name resolved through
+        :func:`repro.paths.get_kernels` (``"loop"``, ``"numpy"``,
+        ``"auto"``); ``None`` auto-selects by graph size.  An execution
+        knob like ``workers``/``backend``: it changes how distances are
+        computed, never what they are.
     params:
         Algorithm-specific parameters (e.g. ``samples`` for
         ``sampling-union``).  Keys are validated against the algorithm's
@@ -79,6 +85,7 @@ class BuildSpec:
     seed: Optional[int] = None
     workers: int = 1
     backend: Optional[str] = None
+    kernel: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -100,6 +107,20 @@ class BuildSpec:
             raise BuildError("spec.seed must be an int or None "
                              "(specs are JSON documents; pass rng objects to "
                              "the direct construction functions instead)")
+        if self.kernel is not None:
+            if not isinstance(self.kernel, str):
+                raise BuildError("spec.kernel must be a backend name or None "
+                                 "(specs are JSON documents; pass backend "
+                                 "objects to the direct functions instead)")
+            from repro.paths.registry import kernel_backend_names
+            # Unknown names fail fast; known-but-unavailable ones (numpy
+            # missing) are left to fail at resolve time with the reason.
+            from repro.paths.registry import _UNAVAILABLE
+            if (self.kernel not in kernel_backend_names()
+                    and self.kernel not in _UNAVAILABLE):
+                raise BuildError(
+                    f"spec.kernel must be one of "
+                    f"{kernel_backend_names()} or None, got {self.kernel!r}")
         # Fail fast on unknown fault models rather than mid-construction.
         get_fault_model(self.fault_model)
 
@@ -122,6 +143,7 @@ class BuildSpec:
             "seed": self.seed,
             "workers": self.workers,
             "backend": self.backend,
+            "kernel": self.kernel,
             "params": dict(self.params),
         }
 
@@ -163,6 +185,8 @@ class BuildSpec:
             bits.append(f"seed={self.seed}")
         if self.workers > 1:
             bits.append(f"workers={self.workers}")
+        if self.kernel:
+            bits.append(f"kernel={self.kernel}")
         if self.params:
             bits.append(", ".join(f"{k}={v}" for k, v in sorted(self.params.items())))
         return " ".join(bits)

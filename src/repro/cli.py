@@ -115,6 +115,7 @@ def spec_from_args(args: argparse.Namespace) -> BuildSpec:
               if entry.capabilities.randomized else None),
         workers=getattr(args, "workers", 1),
         backend=getattr(args, "backend", None),
+        kernel=getattr(args, "kernel", None),
         params=dict(_parse_param(pair) for pair in (args.param or [])),
     )
 
@@ -173,7 +174,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         report = is_ft_spanner(original, subgraph, args.stretch, args.faults,
                                fault_model=args.fault_model, method=args.method,
                                samples=args.samples, rng=args.seed,
-                               workers=args.workers, backend=args.backend)
+                               workers=args.workers, backend=args.backend,
+                               kernel=args.kernel)
         table = _verify_report_table(
             args, mode="exhaustive" if report.exhaustive else "sampled",
             checked=report.fault_sets_checked, worst=report.worst_stretch,
@@ -193,7 +195,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("VERDICT:", "OK" if report.ok else "VIOLATED")
         return 0 if report.ok else 1
     worst = stretch_of(original, subgraph, workers=args.workers,
-                       backend=args.backend)
+                       backend=args.backend, kernel=args.kernel)
     ok = worst <= args.stretch * (1.0 + STRETCH_TOLERANCE)
     if args.json:
         table = _verify_report_table(args, mode="stretch", checked=None,
@@ -294,7 +296,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     snapshot = _resolve_snapshot(args)
     if args.save_snapshot:
         snapshot.save(args.save_snapshot)
-    engine = QueryEngine(snapshot, cache_size=args.cache_size)
+    engine = QueryEngine(snapshot, cache_size=args.cache_size,
+                         kernel=args.kernel)
     query_faults = (snapshot.max_faults if args.query_faults is None
                     else args.query_faults)
     if args.workload == "uniform":
@@ -355,7 +358,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     snapshot = _resolve_snapshot(args)
-    engine = QueryEngine(snapshot, cache_size=0)
+    engine = QueryEngine(snapshot, cache_size=0, kernel=args.kernel)
     source = parse_node(args.source)
     target = parse_node(args.target)
     faults = _parse_fault_spec(args.faults_spec, snapshot.fault_model)
@@ -460,6 +463,8 @@ def _maintainer_spec(args: argparse.Namespace,
         overrides["workers"] = args.workers
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.kernel is not None:
+        overrides["kernel"] = args.kernel
     return recorded.replace(**overrides) if overrides else recorded
 
 
@@ -601,11 +606,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.paths import describe_kernel_backends
+
     print("algorithms:")
     for name in available_algorithms():
         entry = ALGORITHMS[name]
         print(f"  {name:16s} [{entry.capabilities.describe()}] "
               f"{entry.description}")
+    print("\nkernels:")
+    for row in describe_kernel_backends():
+        status = "" if row["available"] else " (unavailable)"
+        print(f"  {row['name']:16s} {row['description']}{status}")
     print("\nexperiments:")
     for ident, spec in sorted(EXPERIMENTS.items()):
         print(f"  {ident:4s} {spec.title} — {spec.claim}")
@@ -658,6 +669,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   "and witnesses are byte-identical)")
         command.add_argument("--backend", choices=["auto", "serial", "process"],
                              default=None, help="execution backend")
+        command.add_argument("--kernel", default=None,
+                             help="distance-kernel backend: 'loop', 'numpy', "
+                                  "or 'auto' (default: auto — numpy on "
+                                  "graphs of >= 100k nodes when available; "
+                                  "answers are byte-identical either way)")
         if seed:
             command.add_argument("--seed", type=int, default=None,
                                  help="seed for randomized constructions")
@@ -687,6 +703,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default="auto",
                         help="execution backend (auto: process pool when "
                              "--workers > 1)")
+    verify.add_argument("--kernel", default=None,
+                        help="distance-kernel backend ('loop', 'numpy', "
+                             "'auto'); results are byte-identical")
     verify.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON report")
     verify.set_defaults(func=_cmd_verify)

@@ -71,6 +71,7 @@ from repro.dynamic.updates import (
 from repro.faults.models import FaultSet, get_fault_model
 from repro.graph.core import Graph, edge_key
 from repro.graph.csr import csr_snapshot
+from repro.paths.registry import get_kernels
 from repro.runtime.backend import ExecutionBackend, get_backend
 from repro.runtime.shard import split_sequence
 from repro.spanners.base import SpannerResult
@@ -153,7 +154,7 @@ class DynamicSpanner:
         # validate_spec already enforced model/algorithm compatibility (the
         # pinned vft/eft variants reject mismatched spec models outright).
         self.model = get_fault_model(spec.fault_model)
-        self.oracle = get_oracle(spec.oracle)
+        self.oracle = get_oracle(spec.oracle, spec.kernel)
         if not self.oracle.exact:
             raise BuildError(
                 "incremental maintenance requires an exact oracle: the "
@@ -282,7 +283,8 @@ class DynamicSpanner:
             # Filter against the *old* H (still holding the edge): the dirty
             # argument reasons about the witness paths that existed before.
             candidates, pool = dirty_candidates(
-                self.graph, self.spanner, update.edge, self.stretch)
+                self.graph, self.spanner, update.edge, self.stretch,
+                kernel=self.spec.kernel)
             version_before = self.graph.version
         update.apply(self.graph)
         if not in_spanner:
@@ -310,7 +312,7 @@ class DynamicSpanner:
         if in_spanner and new_weight > old_weight:
             candidates, pool = dirty_candidates(
                 self.graph, self.spanner, update.edge, self.stretch,
-                edge_weight=old_weight)
+                edge_weight=old_weight, kernel=self.spec.kernel)
             version_before = self.graph.version
         update.apply(self.graph)
         if in_spanner:
@@ -388,6 +390,7 @@ class DynamicSpanner:
         context = _FTCheckContext(
             csr=csr_snapshot(self.spanner), fault_model=self.model.name,
             oracle=self.oracle.name, max_faults=self.max_faults,
+            kernel=get_kernels(self.spec.kernel).name,
             nodes=(tuple(self.spanner.nodes())
                    if ship_elements and self.model.uses_vertex_mask else None),
             edges=(tuple(self.spanner.edge_keys())
@@ -429,7 +432,8 @@ class DynamicSpanner:
             self.model.name, method=method, samples=samples,
             rng=self.spec.seed if rng is None else rng,
             exhaustive_limit=exhaustive_limit,
-            workers=self.spec.workers, backend=self.spec.backend)
+            workers=self.spec.workers, backend=self.spec.backend,
+            kernel=self.spec.kernel)
         record = CertificationRecord(
             report=report, graph_version=self.graph.version,
             spanner_version=self.spanner.version,

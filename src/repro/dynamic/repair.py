@@ -36,7 +36,7 @@ from typing import List, Optional, Tuple
 
 from repro.graph.core import EdgeTuple, Graph, Node, edge_key
 from repro.graph.csr import csr_snapshot
-from repro.paths.kernels import sssp_dijkstra_csr
+from repro.paths.registry import KernelLike, get_kernels
 from repro.runtime.backend import BackendLike
 from repro.spanners.verify import FTVerificationReport, is_ft_spanner
 
@@ -82,7 +82,8 @@ def _sorted_candidates(candidates: List[Candidate]) -> Tuple[Candidate, ...]:
 
 def dirty_candidates(graph: Graph, spanner: Graph, edge: EdgeTuple,
                      stretch: float, *,
-                     edge_weight: Optional[float] = None) -> Tuple[Tuple[Candidate, ...], int]:
+                     edge_weight: Optional[float] = None,
+                     kernel: KernelLike = None) -> Tuple[Tuple[Candidate, ...], int]:
     """Rejected edges whose acceptance test may flip when ``edge`` leaves ``spanner``.
 
     **Call before mutating**: both ``graph`` and ``spanner`` must still
@@ -100,8 +101,9 @@ def dirty_candidates(graph: Graph, spanner: Graph, edge: EdgeTuple,
         raise ValueError(f"edge {edge!r} is not in the spanner")
     w_edge = spanner.weight(a, b) if edge_weight is None else float(edge_weight)
     csr = csr_snapshot(spanner)
-    dist_a, _ = sssp_dijkstra_csr(csr, csr.index_of[a])
-    dist_b, _ = sssp_dijkstra_csr(csr, csr.index_of[b])
+    sssp = get_kernels(kernel).resolve(csr).sssp_dijkstra_csr
+    dist_a, _ = sssp(csr, csr.index_of[a])
+    dist_b, _ = sssp(csr, csr.index_of[b])
     index_of = csr.index_of
     dirty: List[Candidate] = []
     pool = 0
@@ -149,7 +151,8 @@ class CertificationRecord:
 def certify(graph: Graph, spanner: Graph, stretch: float, max_faults: int,
             fault_model: str, *, method: str = "auto", samples: int = 200,
             rng=None, exhaustive_limit: int = 50_000, workers: int = 1,
-            backend: BackendLike = None) -> FTVerificationReport:
+            backend: BackendLike = None,
+            kernel: KernelLike = None) -> FTVerificationReport:
     """Ground-truth check of the maintained spanner (sharded like the static path).
 
     A thin, argument-for-argument wrapper over
@@ -162,4 +165,4 @@ def certify(graph: Graph, spanner: Graph, stretch: float, max_faults: int,
     return is_ft_spanner(graph, spanner, stretch, max_faults, fault_model,
                          method=method, samples=samples, rng=rng,
                          exhaustive_limit=exhaustive_limit,
-                         workers=workers, backend=backend)
+                         workers=workers, backend=backend, kernel=kernel)

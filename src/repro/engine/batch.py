@@ -15,7 +15,10 @@ exploits that:
    form);
 3. a :class:`MaskBuffer` is reused across groups: applying a fault set
    writes ``|F|`` bytes and resetting clears exactly those bytes, so the
-   per-group masking cost is O(|F|), not O(n).
+   per-group masking cost is O(|F|), not O(n).  When a vectorized kernel
+   backend serves the plan, :class:`MaskMatrix` stacks all the groups' masks
+   into one boolean matrix (same O(|F|)-per-group reuse discipline) so a
+   multi-source kernel answers the whole plan in one sweep.
 
 Because the kernels replicate the per-query reference decision-for-decision
 (see :mod:`repro.paths.kernels`), grouping never changes an answer — only
@@ -30,7 +33,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from repro.faults.models import FaultModel, FaultSet
 from repro.graph.core import Node
 from repro.graph.csr import CSRGraph
-from repro.paths.kernels import multi_target_dijkstra_csr, sssp_dijkstra_csr
+from repro.paths.registry import KernelBackend, get_kernels
 
 
 @dataclass
@@ -144,24 +147,83 @@ class MaskBuffer:
         self._set_indices = []
 
 
+class MaskMatrix:
+    """A reusable stack of per-group fault mask rows (numpy backends only).
+
+    Where :class:`MaskBuffer` serves one group at a time, the matrix holds
+    one boolean row per group of a plan so the whole fault-set batch can be
+    handed to a multi-source kernel in a single call.  Rows are reused across
+    plans with the same O(|F|)-per-group cost discipline: applying a plan
+    writes only the faulted cells, and the next apply clears exactly the
+    cells the previous one set.  Row capacity grows geometrically.
+    """
+
+    __slots__ = ("csr", "model", "_matrix", "_set_cells")
+
+    def __init__(self, csr: CSRGraph, model: FaultModel):
+        self.csr = csr
+        self.model = model
+        self._matrix = None
+        self._set_cells: List[Tuple[int, List[int]]] = []
+
+    def apply(self, fault_sets: Sequence[Iterable]):
+        """Mask ``fault_sets`` row-by-row; returns ``(vertex_masks, edge_masks)``.
+
+        One of the two is the ``(len(fault_sets), width)`` uint8 matrix (per
+        the fault model), the other ``None`` — mirroring
+        :meth:`FaultModel.kernel_masks` shape-for-shape, one row per group.
+        """
+        import numpy as np
+
+        width = (self.csr.num_nodes if self.model.uses_vertex_mask
+                 else self.csr.num_edges)
+        rows = len(fault_sets)
+        matrix = self._matrix
+        if matrix is None or matrix.shape[1] != width or matrix.shape[0] < rows:
+            capacity = rows if matrix is None else max(rows, 2 * matrix.shape[0])
+            matrix = np.zeros((capacity, width), dtype=np.uint8)
+            self._matrix = matrix
+            self._set_cells = []
+        for row, indices in self._set_cells:
+            matrix[row, indices] = 0
+        self._set_cells = []
+        for row, faults in enumerate(fault_sets):
+            indices = self.model.mask_indices(self.csr, faults)
+            if indices:
+                matrix[row, indices] = 1
+                self._set_cells.append((row, indices))
+        view = matrix[:rows]
+        if self.model.uses_vertex_mask:
+            return view, None
+        return None, view
+
+
 def sssp_group(csr: CSRGraph, buffer: MaskBuffer, source_index: int,
-               faults: Iterable) -> List[float]:
+               faults: Iterable,
+               kernels: KernelBackend = None) -> List[float]:
     """Full masked distance vector from ``source_index`` (the cacheable form)."""
+    if kernels is None:
+        kernels = get_kernels(None)
+    kernels = kernels.resolve(csr)
     vertex_mask, edge_mask = buffer.apply(faults)
     try:
-        dist, _ = sssp_dijkstra_csr(csr, source_index, None, vertex_mask, edge_mask)
+        dist, _ = kernels.sssp_dijkstra_csr(csr, source_index, None,
+                                            vertex_mask, edge_mask)
         return dist
     finally:
         buffer.reset()
 
 
 def multi_target_group(csr: CSRGraph, buffer: MaskBuffer, source_index: int,
-                       faults: Iterable,
-                       target_indices: Sequence[int]) -> List[float]:
+                       faults: Iterable, target_indices: Sequence[int],
+                       kernels: KernelBackend = None) -> List[float]:
     """Masked distances to just ``target_indices``; early-exits when all settle."""
+    if kernels is None:
+        kernels = get_kernels(None)
+    kernels = kernels.resolve(csr)
     vertex_mask, edge_mask = buffer.apply(faults)
     try:
-        return multi_target_dijkstra_csr(csr, source_index, list(target_indices),
-                                         vertex_mask, edge_mask)
+        return kernels.multi_target_dijkstra_csr(
+            csr, source_index, list(target_indices), vertex_mask, edge_mask)
     finally:
         buffer.reset()

@@ -31,7 +31,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.batch import (
+    BatchGroup,
     MaskBuffer,
+    MaskMatrix,
     multi_target_group,
     plan_batches,
     sssp_group,
@@ -41,7 +43,7 @@ from repro.engine.snapshot import SpannerSnapshot
 from repro.faults.models import FaultSet, get_fault_model
 from repro.graph.core import Node
 from repro.graph.csr import CSRGraph
-from repro.paths.kernels import multi_target_dijkstra_csr
+from repro.paths.registry import KernelLike, get_kernels
 from repro.runtime.backend import BackendLike, SerialBackend, get_backend
 from repro.runtime.shard import split_sequence
 
@@ -94,6 +96,7 @@ class _AuditContext:
     csr_h: CSRGraph
     csr_g: CSRGraph
     fault_model: str
+    kernel: str = "auto"
 
 
 def _audit_chunk(ctx: _AuditContext,
@@ -107,6 +110,7 @@ def _audit_chunk(ctx: _AuditContext,
     bit-identical to :meth:`QueryEngine.stretch_audit`.
     """
     model = get_fault_model(ctx.fault_model)
+    kernels = get_kernels(ctx.kernel)
     calls = [0, 0]  # [spanner, original]
     results: List[Tuple[float, float]] = []
     for source, target, faults in chunk:
@@ -121,7 +125,7 @@ def _audit_chunk(ctx: _AuditContext,
             for index in model.mask_indices(csr, faults):
                 mask[index] = 1
             vertex_mask, edge_mask = model.kernel_masks(mask)
-            pair.append(multi_target_dijkstra_csr(
+            pair.append(kernels.resolve(csr).multi_target_dijkstra_csr(
                 csr, source_index, [target_index], vertex_mask, edge_mask)[0])
             calls[side] += 1
         results.append((pair[0], pair[1]))
@@ -143,15 +147,22 @@ class QueryEngine:
         Execution backend (:func:`repro.runtime.get_backend` spec) used by
         :meth:`stretch_audit_batch` to shard audit sweeps; serving-path
         queries always run in-process.  Defaults to serial.
+    kernel:
+        Kernel backend (:func:`repro.paths.get_kernels` spec) answering the
+        distance queries; ``None`` auto-selects by graph size.  When the
+        resolved backend ships multi-source kernels, whole plans are served
+        by fused sweeps (one kernel invocation for many groups) — answers,
+        counters and cache behaviour stay bit-identical to per-group runs.
     """
 
     def __init__(self, snapshot: SpannerSnapshot, *, cache_size: int = 256,
                  admit_threshold: int = 2, backend: BackendLike = None,
-                 workers: int = 1):
+                 workers: int = 1, kernel: KernelLike = None):
         self.snapshot = snapshot
         self.model = get_fault_model(snapshot.fault_model)
         self.cache = ResultCache(cache_size)
         self.backend = get_backend(backend, workers)
+        self.kernel = get_kernels(kernel)
         #: Admission policy: a full distance vector is computed and cached
         #: only when the expected reuse of its ``(source, faults)`` key —
         #: the group size, plus one if the key was requested before — reaches
@@ -163,10 +174,15 @@ class QueryEngine:
         self.batches_planned = 0
         self.groups_executed = 0
         self.kernel_calls = 0
+        #: Multi-source kernel invocations; each replaces >= 2 logical
+        #: kernel runs (``kernel_calls`` keeps counting those, so batching
+        #: metrics stay comparable across kernel backends).
+        self.fused_sweeps = 0
         self.audits = 0
         self.audit_kernel_calls = 0
         self.busy_seconds = 0.0
         self._buffers: Dict[int, MaskBuffer] = {}
+        self._matrices: Dict[int, MaskMatrix] = {}
         self._seen_keys: set = set()
 
     # ------------------------------------------------------------- internals
@@ -187,13 +203,24 @@ class QueryEngine:
             self._buffers[key] = buffer
         return buffer
 
+    def _matrix_for(self, csr: CSRGraph) -> MaskMatrix:
+        """The reusable fault-mask matrix bound to ``csr`` (fused sweeps)."""
+        key = id(csr)
+        matrix = self._matrices.get(key)
+        if matrix is None:
+            if len(self._matrices) > 4:
+                self._matrices.clear()
+            matrix = MaskMatrix(csr, self.model)
+            self._matrices[key] = matrix
+        return matrix
+
     def _multi_target(self, csr: CSRGraph, source_index: int,
                       canonical: FaultSet,
                       target_indices: List) -> List[float]:
         """Early-exit kernel run for the group; ``None`` targets answer inf."""
         known = [t for t in target_indices if t is not None]
         distances = multi_target_group(csr, self._buffer_for(csr), source_index,
-                                       canonical, known)
+                                       canonical, known, self.kernel)
         self.kernel_calls += 1
         answered = iter(distances)
         return [next(answered) if t is not None else _INF for t in target_indices]
@@ -228,10 +255,93 @@ class QueryEngine:
                 return self._multi_target(csr, source_index, canonical,
                                           target_indices)
             vector = sssp_group(csr, self._buffer_for(csr), source_index,
-                                canonical)
+                                canonical, self.kernel)
             self.kernel_calls += 1
             self.cache.put(key, vector)
         return [vector[t] if t is not None else _INF for t in target_indices]
+
+    def _serve_plan_fused(self, csr: CSRGraph, plan,
+                          results: List[float]) -> None:
+        """Serve a whole plan with at most two multi-source kernel sweeps.
+
+        Runs the exact per-group decision loop of :meth:`_serve_group` —
+        same cache reads/writes, admission checks and counter bumps, in plan
+        order — but *defers* the kernel work: admitted groups put an empty
+        placeholder vector in the cache (plan keys are unique, so nothing
+        reads it within this batch) and queue up; early-exit groups queue
+        up likewise.  Each queue is then answered by one fused sweep over a
+        :class:`MaskMatrix`, the placeholders filled in place, and answers
+        scattered.  Every distance, counter and cache-state transition is
+        bit-identical to the per-group path.
+        """
+        kernels = self.kernel.resolve(csr)
+        index_of = csr.index_of
+        multi_pending: List[Tuple[BatchGroup, int, List]] = []
+        sssp_pending: List[Tuple[BatchGroup, int, List[float], List]] = []
+        for group in plan.groups:
+            self.groups_executed += 1
+            source_index = index_of.get(group.source)
+            if source_index is None:
+                continue  # results already hold inf
+            target_indices = [index_of.get(t) for t in group.targets]
+            if self.cache.enabled:
+                key = (group.source, group.faults)
+                vector = self.cache.get(key)
+                if vector is not None:
+                    for position, t in zip(group.positions, target_indices):
+                        results[position] = vector[t] if t is not None else _INF
+                    continue
+                expected_reuse = len(group.targets) + (
+                    1 if key in self._seen_keys else 0)
+                if expected_reuse >= self.admit_threshold:
+                    vector = []
+                    self.kernel_calls += 1
+                    self.cache.put(key, vector)
+                    sssp_pending.append(
+                        (group, source_index, vector, target_indices))
+                    continue
+                if len(self._seen_keys) > 16 * max(self.cache.capacity, 64):
+                    self._seen_keys.clear()
+                self._seen_keys.add(key)
+            self.kernel_calls += 1
+            multi_pending.append((group, source_index, target_indices))
+
+        if sssp_pending:
+            if len(sssp_pending) == 1:
+                group, source_index, vector, _ = sssp_pending[0]
+                vector[:] = sssp_group(csr, self._buffer_for(csr),
+                                       source_index, group.faults, kernels)
+            else:
+                vm, em = self._matrix_for(csr).apply(
+                    [group.faults for group, _, _, _ in sssp_pending])
+                rows = kernels.multi_source_sssp(
+                    csr, [si for _, si, _, _ in sssp_pending], vm, em)
+                self.fused_sweeps += 1
+                for (_, _, vector, _), row in zip(sssp_pending, rows):
+                    vector[:] = row
+            for group, _, vector, target_indices in sssp_pending:
+                for position, t in zip(group.positions, target_indices):
+                    results[position] = vector[t] if t is not None else _INF
+
+        if multi_pending:
+            known_lists = [[t for t in tis if t is not None]
+                           for _, _, tis in multi_pending]
+            if len(multi_pending) == 1:
+                group, source_index, _ = multi_pending[0]
+                answers = [multi_target_group(
+                    csr, self._buffer_for(csr), source_index, group.faults,
+                    known_lists[0], kernels)]
+            else:
+                vm, em = self._matrix_for(csr).apply(
+                    [group.faults for group, _, _ in multi_pending])
+                answers = kernels.multi_source_multi_target(
+                    csr, [si for _, si, _ in multi_pending], known_lists, vm, em)
+                self.fused_sweeps += 1
+            for (group, _, target_indices), row in zip(multi_pending, answers):
+                answered = iter(row)
+                for position, t in zip(group.positions, target_indices):
+                    results[position] = (next(answered) if t is not None
+                                         else _INF)
 
     # --------------------------------------------------------------- queries
     def distance(self, source: Node, target: Node,
@@ -254,6 +364,10 @@ class QueryEngine:
             self.cache.sync(self.snapshot.spanner.version)
             csr = self.snapshot.csr
             results: List[float] = [_INF] * plan.num_queries
+            if (plan.num_groups > 1
+                    and self.kernel.resolve(csr).multi_source_sssp is not None):
+                self._serve_plan_fused(csr, plan, results)
+                return results
             for group in plan.groups:
                 answers = self._serve_group(csr, group.source, group.faults,
                                             group.targets)
@@ -297,7 +411,7 @@ class QueryEngine:
             else:
                 original_distance = multi_target_group(
                     original_csr, self._buffer_for(original_csr), source_index,
-                    canonical, [target_index])[0]
+                    canonical, [target_index], self.kernel)[0]
                 # Counted apart from kernel_calls: audits are ground-truth
                 # lookups, not serving work, and must not skew the
                 # batching-savings accounting below.
@@ -342,7 +456,8 @@ class QueryEngine:
         started = time.perf_counter()
         try:
             context = _AuditContext(csr_h=self.snapshot.csr, csr_g=original_csr,
-                                    fault_model=self.model.name)
+                                    fault_model=self.model.name,
+                                    kernel=self.kernel.name)
             distance_pairs: List[Tuple[float, float]] = []
             for chunk_results, spanner_calls, original_calls in self.backend.map(
                     _audit_chunk,
@@ -380,6 +495,8 @@ class QueryEngine:
             "groups_executed": self.groups_executed,
             "kernel_calls": self.kernel_calls,
             "kernel_calls_saved": saved,
+            "kernel": self.kernel.name,
+            "fused_sweeps": self.fused_sweeps,
             "audits": self.audits,
             "audit_kernel_calls": self.audit_kernel_calls,
             "busy_seconds": self.busy_seconds,

@@ -28,7 +28,7 @@ from repro.faults.models import FaultModel, FaultSet, get_fault_model
 from repro.graph.core import Graph, Node
 from repro.graph.csr import CSRGraph, csr_snapshot
 from repro.paths.dijkstra import dijkstra_distances
-from repro.paths.kernels import sssp_dijkstra_csr
+from repro.paths.registry import KernelLike, get_kernels
 from repro.runtime.backend import BackendLike, get_backend
 from repro.runtime.merge import ChunkArgmax, merge_argmax
 from repro.runtime.shard import chunk_size_for, iter_chunks
@@ -38,7 +38,8 @@ from repro.utils.rng import ensure_rng
 def stretch_under_faults(original: Graph, spanner: Graph,
                          fault_model: "str | FaultModel",
                          faults: Iterable,
-                         *, pairs: Optional[List[Tuple[Node, Node]]] = None) -> float:
+                         *, pairs: Optional[List[Tuple[Node, Node]]] = None,
+                         kernel: KernelLike = None) -> float:
     """Worst multiplicative stretch of ``spanner \\ F`` w.r.t. ``original \\ F``.
 
     The stretch of a pair that is disconnected in ``original \\ F`` is ignored
@@ -55,7 +56,7 @@ def stretch_under_faults(original: Graph, spanner: Graph,
     fault_list = list(faults)
     if isinstance(original, Graph) and isinstance(spanner, Graph):
         return stretch_between_csr(csr_snapshot(original), csr_snapshot(spanner),
-                                   model, fault_list, pairs)
+                                   model, fault_list, pairs, kernel=kernel)
     faulted_original = model.apply(original, fault_list)
     faulted_spanner = model.apply(spanner, fault_list)
 
@@ -88,11 +89,40 @@ def stretch_under_faults(original: Graph, spanner: Graph,
     return worst
 
 
+def _h_index_map(csr_g: CSRGraph, csr_h: CSRGraph):
+    """Vectorized ``csr_g`` node index -> ``csr_h`` node index translation.
+
+    Returns ``(indices, known)`` ndarrays over ``csr_g``'s index space;
+    ``known[i]`` is false when node ``i`` is absent from ``csr_h`` (the
+    translated index is then a harmless 0).  Memoised on ``csr_g`` (with a
+    strong reference to ``csr_h``, so object identity cannot be recycled)
+    and rebuilt when either side gained nodes.
+    """
+    import numpy as np
+
+    cached = csr_g._nd_views.get("hmap")
+    if (cached is not None and cached[0] is csr_h
+            and len(cached[2]) == csr_g.num_nodes
+            and cached[1] == csr_h.num_nodes):
+        return cached[2], cached[3]
+    h_index = csr_h.index_of
+    indices = np.zeros(csr_g.num_nodes, dtype=np.int64)
+    known = np.zeros(csr_g.num_nodes, dtype=bool)
+    for i, node in enumerate(csr_g.node_of):
+        j = h_index.get(node)
+        if j is not None:
+            indices[i] = j
+            known[i] = True
+    csr_g._nd_views["hmap"] = (csr_h, csr_h.num_nodes, indices, known)
+    return indices, known
+
+
 def stretch_between_csr(csr_g: CSRGraph, csr_h: CSRGraph, model: FaultModel,
                         fault_list: List,
                         pairs: Optional[List[Tuple[Node, Node]]] = None,
                         *, sources: Optional[List[Node]] = None,
-                        restrict: Optional[Dict[Node, frozenset]] = None) -> float:
+                        restrict: Optional[Dict[Node, frozenset]] = None,
+                        kernel: KernelLike = None) -> float:
     """Mask-based stretch of ``csr_h \\ F`` w.r.t. ``csr_g \\ F``.
 
     Pure-CSR twin of :func:`stretch_under_faults`: applies the fault set as
@@ -131,17 +161,53 @@ def stretch_between_csr(csr_g: CSRGraph, csr_h: CSRGraph, model: FaultModel,
     elif sources is None:
         sources = node_of_g
 
+    kernels = get_kernels(kernel)
+    kernels_g = kernels.resolve(csr_g)
+    kernels_h = kernels.resolve(csr_h)
+
+    if (restrict is None and kernels_g.sssp_arrays is not None
+            and kernels_h.sssp_arrays is not None):
+        # No target restriction: the per-source target scan collapses into
+        # one vectorised ratio computation.  The floats are the serial ones
+        # (same per-pair division, and a maximum is order-independent), so
+        # this path is bit-identical to the loop below.
+        import numpy as np
+
+        h_of_g, known = _h_index_map(csr_g, csr_h)
+        worst = 1.0
+        for source in sources:
+            si = g_index.get(source)
+            if si is None or (vertex and mask_g[si]):
+                continue
+            base = kernels_g.sssp_arrays(csr_g, si, vm_g, em_g)
+            valid = np.isfinite(base) & (base > 0.0)
+            if not valid.any():
+                continue
+            hs = h_index.get(source)
+            if hs is None or (vertex and mask_h[hs]):
+                return math.inf
+            sub_h = kernels_h.sssp_arrays(csr_h, hs, vm_h, em_h)
+            sub = np.where(known, sub_h[h_of_g], np.inf)
+            ratio = float((sub[valid] / base[valid]).max())
+            if ratio > worst:
+                worst = ratio
+            if worst == math.inf:
+                return worst
+        return worst
+
+    sssp_g = kernels_g.sssp_dijkstra_csr
+    sssp_h = kernels_h.sssp_dijkstra_csr
     worst = 1.0
     for source in sources:
         si = g_index.get(source)
         if si is None or (vertex and mask_g[si]):
             continue
-        base_dist, base_order = sssp_dijkstra_csr(csr_g, si, None, vm_g, em_g)
+        base_dist, base_order = sssp_g(csr_g, si, None, vm_g, em_g)
         hs = h_index.get(source)
         if hs is None or (vertex and mask_h[hs]):
             sub_dist = None
         else:
-            sub_dist = sssp_dijkstra_csr(csr_h, hs, None, vm_h, em_h)[0]
+            sub_dist = sssp_h(csr_h, hs, None, vm_h, em_h)[0]
         allowed = restrict.get(source, ()) if restrict is not None else None
         for index in base_order:
             target = node_of_g[index]
@@ -170,6 +236,7 @@ class _SearchContext:
     #: Stop scanning once a fault set's stretch strictly exceeds this (the
     #: "first refutation" early-cancel); ``inf`` always stops the scan.
     stop_stretch: Optional[float]
+    kernel: Optional[str] = None
 
 
 def _search_chunk(ctx: _SearchContext, chunk: List) -> ChunkArgmax:
@@ -185,7 +252,8 @@ def _search_chunk(ctx: _SearchContext, chunk: List) -> ChunkArgmax:
     checked = 0
     for faults in chunk:
         checked += 1
-        value = stretch_between_csr(ctx.csr_g, ctx.csr_h, model, list(faults))
+        value = stretch_between_csr(ctx.csr_g, ctx.csr_h, model, list(faults),
+                                    kernel=ctx.kernel)
         if value > best_value:
             best_value = value
             best = model.canonical(faults)
@@ -202,7 +270,8 @@ def worst_case_fault_set(original: Graph, spanner: Graph,
                          exhaustive_limit: int = 200_000,
                          stop_stretch: Optional[float] = None,
                          workers: int = 1,
-                         backend: BackendLike = None
+                         backend: BackendLike = None,
+                         kernel: KernelLike = None
                          ) -> Tuple[FaultSet, float]:
     """Find a fault set (approximately) maximising the stretch of the spanner.
 
@@ -254,7 +323,8 @@ def worst_case_fault_set(original: Graph, spanner: Graph,
     context = _SearchContext(csr_g=csr_snapshot(original),
                              csr_h=csr_snapshot(spanner),
                              fault_model=model.name,
-                             stop_stretch=stop_stretch)
+                             stop_stretch=stop_stretch,
+                             kernel=get_kernels(kernel).name)
     chunks = iter_chunks(candidates, chunk_size_for(total, resolved.workers))
     outcome = merge_argmax(resolved.imap(_search_chunk, chunks, context=context))
     if outcome.best is None:
@@ -285,18 +355,21 @@ class _TrialContext:
     csr_g: CSRGraph
     csr_h: CSRGraph
     fault_model: str
+    kernel: Optional[str] = None
 
 
 def _trial_chunk(ctx: _TrialContext, chunk: List) -> List[float]:
     model = get_fault_model(ctx.fault_model)
-    return [stretch_between_csr(ctx.csr_g, ctx.csr_h, model, list(faults))
+    return [stretch_between_csr(ctx.csr_g, ctx.csr_h, model, list(faults),
+                                kernel=ctx.kernel)
             for faults in chunk]
 
 
 def random_fault_trial(original: Graph, spanner: Graph,
                        fault_model: "str | FaultModel", max_faults: int,
                        trials: int, *, rng=None, workers: int = 1,
-                       backend: BackendLike = None) -> List[float]:
+                       backend: BackendLike = None,
+                       kernel: KernelLike = None) -> List[float]:
     """Stretch of the spanner under ``trials`` random fault sets (one value per trial).
 
     Fault sets are sampled up front in the calling process (so the random
@@ -312,7 +385,8 @@ def random_fault_trial(original: Graph, spanner: Graph,
     resolved = get_backend(backend, workers)
     context = _TrialContext(csr_g=csr_snapshot(original),
                             csr_h=csr_snapshot(spanner),
-                            fault_model=model.name)
+                            fault_model=model.name,
+                            kernel=get_kernels(kernel).name)
     chunks = iter_chunks(fault_sets, chunk_size_for(len(fault_sets),
                                                     resolved.workers))
     values: List[float] = []

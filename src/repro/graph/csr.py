@@ -58,6 +58,7 @@ class CSRGraph:
         "_edge_ids_l",   # access — measurably slower in the inner loops.
         "_extra",        # overflow: node index -> list of (v, w, eid) arcs
         "_extra_count",  # number of overflow arcs
+        "_nd_views",     # zero-copy ndarray views keyed per source array
         "graph_version", # Graph.version this snapshot corresponds to
     )
 
@@ -75,7 +76,19 @@ class CSRGraph:
         self._edge_ids_l: List[int] = []
         self._extra: Dict[int, List[Tuple[int, float, int]]] = {}
         self._extra_count = 0
+        self._nd_views: Dict[str, object] = {}
         self.graph_version = -1
+
+    def __getstate__(self):
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        # The ndarray views borrow the arrays' buffers; they are rebuilt on
+        # demand on the other side instead of travelling through pickle.
+        state["_nd_views"] = {}
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     # ------------------------------------------------------------- building
     @classmethod
@@ -124,6 +137,10 @@ class CSRGraph:
             index = len(self.node_of)
             self.index_of[node] = index
             self.node_of.append(node)
+            # Only the indptr view must go: appending resizes the array, which
+            # is illegal while an ndarray borrows its buffer.  The data-array
+            # views (and the derived reverse-arc table) stay valid.
+            self._nd_views.pop("indptr", None)
             # Duplicate the running prefix sum: the new node owns an empty
             # compact slice, so kernels can index indptr[u+1] safely.
             self.indptr.append(self.indptr[-1])
@@ -160,7 +177,15 @@ class CSRGraph:
         return eid
 
     def compact(self) -> None:
-        """Fold the overflow arcs into fresh ``indptr``/``indices``/... arrays."""
+        """Fold the overflow arcs into the compact ``indptr``/``indices``/... form.
+
+        ``indptr`` keeps its length (one slot per node plus one) across a
+        compaction, so it is rewritten *in place* — the array object survives,
+        and any cached zero-copy ndarray view of it stays valid and simply
+        sees the new prefix sums.  The data arrays change length and are
+        replaced, dropping only their views (and the derived reverse-arc
+        table).
+        """
         if not self._extra_count:
             return
         old_indptr = self.indptr
@@ -168,7 +193,7 @@ class CSRGraph:
         old_weights = self.weights
         old_edge_ids = self.edge_ids
         extra = self._extra
-        indptr = array("q", [0])
+        new_indptr: List[int] = [0]
         indices = array("q")
         weights = array("d")
         edge_ids = array("q")
@@ -187,11 +212,16 @@ class CSRGraph:
                     weights.append(w)
                     edge_ids.append(eid)
                 position += len(bucket)
-            indptr.append(position)
-        self.indptr = indptr
+            new_indptr.append(position)
+        # Item-wise writes never resize, so they are legal even while an
+        # exported ndarray view pins the buffer — identity preserved.
+        for i, p in enumerate(new_indptr):
+            old_indptr[i] = p
         self.indices = indices
         self.weights = weights
         self.edge_ids = edge_ids
+        self._nd_views.pop("data", None)
+        self._nd_views.pop("rev", None)
         self._refresh_mirrors()
         self._extra = {}
         self._extra_count = 0
@@ -236,6 +266,72 @@ class CSRGraph:
         if bucket:
             for arc in bucket:
                 yield arc
+
+    # ------------------------------------------------------------- ndarrays
+    def as_ndarrays(self):
+        """Zero-copy ndarray views ``(indptr, indices, weights, edge_ids)``.
+
+        Requires numpy (the vectorized kernel backend gates on it).  Views
+        borrow the underlying ``array`` buffers — no copy per call — and are
+        cached per source array:
+
+        * :meth:`intern` drops only the ``indptr`` view (appending a node
+          resizes that array); the data views and the derived reverse-arc
+          table survive node growth untouched;
+        * :meth:`compact` rewrites ``indptr`` in place (same object, view
+          stays live) and replaces only the data arrays, whose views are
+          rebuilt on the next call.
+
+        A pending overflow is folded in first: the vectorized kernels sweep
+        the compact slices only, and compaction preserves the per-node
+        insertion order the loop kernels see, so results are unaffected.
+
+        The views are *borrowed*: holding one across a mutation of the
+        snapshot raises ``BufferError`` on the resize instead of corrupting
+        memory — callers (the kernels) take them per call and let go.
+        """
+        import numpy as np
+
+        if self._extra_count:
+            self.compact()
+        views = self._nd_views
+        entry = views.get("indptr")
+        if (entry is None or entry[0] is not self.indptr
+                or len(entry[1]) != len(self.indptr)):
+            entry = (self.indptr, np.frombuffer(self.indptr, dtype=np.int64))
+            views["indptr"] = entry
+        indptr_nd = entry[1]
+        entry = views.get("data")
+        if entry is None or entry[0] is not self.indices:
+            entry = (self.indices,
+                     np.frombuffer(self.indices, dtype=np.int64),
+                     np.frombuffer(self.weights, dtype=np.float64),
+                     np.frombuffer(self.edge_ids, dtype=np.int64))
+            views["data"] = entry
+        return indptr_nd, entry[1], entry[2], entry[3]
+
+    def reverse_arcs(self):
+        """Per-arc index of the opposite arc of the same undirected edge.
+
+        ``rev[t]`` is the position of the arc ``(v, u)`` when arc ``t`` is
+        ``(u, v)`` — the vectorized kernels use it to recover, for a settled
+        node, where the achieving arc sits in the *parent's* scan order.
+        Computed with one stable argsort over ``edge_ids`` (each undirected
+        edge id appears on exactly two arcs) and cached until the data
+        arrays are replaced by a compaction.
+        """
+        import numpy as np
+
+        _, _, _, edge_ids_nd = self.as_ndarrays()
+        cached = self._nd_views.get("rev")
+        if cached is not None:
+            return cached
+        order = np.argsort(edge_ids_nd, kind="stable")
+        rev = np.empty(len(order), dtype=np.int64)
+        rev[order[0::2]] = order[1::2]
+        rev[order[1::2]] = order[0::2]
+        self._nd_views["rev"] = rev
+        return rev
 
     # ---------------------------------------------------------------- masks
     def vertex_fault_mask(self, nodes: Iterable[Node]) -> bytearray:

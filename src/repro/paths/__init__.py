@@ -10,6 +10,11 @@ Plain :class:`Graph` inputs are executed by the array-native CSR kernels in
 :mod:`repro.paths.kernels` (compiled snapshots cached per graph version); the
 ``*_csr`` functions re-exported here are the raw kernels for callers that
 manage their own snapshots and fault masks.
+
+Kernels come in swappable backends (pure-Python ``loop``, vectorized
+``numpy``) registered in :mod:`repro.paths.registry`; see
+:func:`get_kernels`.  The re-exported ``*_csr`` names are the ``loop``
+reference implementations.
 """
 
 from repro.paths.dijkstra import (
@@ -29,6 +34,15 @@ from repro.paths.kernels import (
     multi_target_dijkstra_csr,
     bfs_distances_csr,
     bounded_bfs_csr,
+)
+from repro.paths.registry import (
+    AUTO_NODE_THRESHOLD,
+    KernelBackend,
+    KernelLike,
+    describe_kernel_backends,
+    get_kernels,
+    kernel_backend_names,
+    register_kernel_backend,
 )
 
 __all__ = [
@@ -51,4 +65,11 @@ __all__ = [
     "multi_target_dijkstra_csr",
     "bfs_distances_csr",
     "bounded_bfs_csr",
+    "AUTO_NODE_THRESHOLD",
+    "KernelBackend",
+    "KernelLike",
+    "describe_kernel_backends",
+    "get_kernels",
+    "kernel_backend_names",
+    "register_kernel_backend",
 ]

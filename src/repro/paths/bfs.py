@@ -19,7 +19,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.graph.core import Graph
 from repro.graph.csr import csr_snapshot
-from repro.paths.kernels import bfs_distances_csr, bounded_bfs_csr
+from repro.paths.registry import KernelLike, get_kernels
 
 Node = Hashable
 
@@ -55,13 +55,16 @@ def _bfs_core(graph, source: Node, max_hops: Optional[int] = None,
 
 
 def bfs_distances(graph, source: Node,
-                  max_hops: Optional[int] = None) -> Dict[Node, int]:
+                  max_hops: Optional[int] = None, *,
+                  kernel: KernelLike = None) -> Dict[Node, int]:
     """Hop distances from ``source`` to every node within ``max_hops``."""
     if not graph.has_node(source):
         raise ValueError(f"source {source!r} not in graph")
     if isinstance(graph, Graph):
         csr = csr_snapshot(graph)
-        dist, order = bfs_distances_csr(csr, csr.index_of[source], max_hops)
+        kernels = get_kernels(kernel).resolve(csr)
+        dist, order = kernels.bfs_distances_csr(csr, csr.index_of[source],
+                                                max_hops)
         node_of = csr.node_of
         return {node_of[index]: dist[index] for index in order}
     distances, _ = _bfs_core(graph, source, max_hops)
@@ -69,7 +72,8 @@ def bfs_distances(graph, source: Node,
 
 
 def hop_distance(graph, source: Node, target: Node,
-                 max_hops: Optional[int] = None) -> float:
+                 max_hops: Optional[int] = None, *,
+                 kernel: KernelLike = None) -> float:
     """Hop distance between two nodes; ``inf`` if unreachable within ``max_hops``."""
     if not graph.has_node(source) or not graph.has_node(target):
         return math.inf
@@ -77,7 +81,9 @@ def hop_distance(graph, source: Node, target: Node,
         return 0.0
     if isinstance(graph, Graph):
         csr = csr_snapshot(graph)
-        return bounded_bfs_csr(csr, csr.index_of[source], csr.index_of[target], max_hops)
+        kernels = get_kernels(kernel).resolve(csr)
+        return kernels.bounded_bfs_csr(csr, csr.index_of[source],
+                                       csr.index_of[target], max_hops)
     _, found = _bfs_core(graph, source, max_hops, target=target)
     return float(found) if found is not None else math.inf
 

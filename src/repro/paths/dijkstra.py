@@ -24,17 +24,14 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.graph.core import Graph
 from repro.graph.csr import csr_snapshot
-from repro.paths.kernels import (
-    bounded_dijkstra_csr,
-    bounded_dijkstra_path_csr,
-    sssp_dijkstra_csr,
-)
+from repro.paths.registry import KernelLike, get_kernels
 
 Node = Hashable
 
 
 def dijkstra_distances(graph, source: Node,
-                       cutoff: Optional[float] = None) -> Dict[Node, float]:
+                       cutoff: Optional[float] = None, *,
+                       kernel: KernelLike = None) -> Dict[Node, float]:
     """Single-source shortest-path distances from ``source``.
 
     Parameters
@@ -42,12 +39,17 @@ def dijkstra_distances(graph, source: Node,
     cutoff:
         If given, nodes farther than ``cutoff`` are omitted from the result
         and never expanded; unreachable nodes are always omitted.
+    kernel:
+        Kernel backend (name or :class:`~repro.paths.registry.KernelBackend`)
+        for the CSR fast path; ``None`` auto-selects.
     """
     if not graph.has_node(source):
         raise ValueError(f"source {source!r} not in graph")
     if isinstance(graph, Graph):
         csr = csr_snapshot(graph)
-        dist, order = sssp_dijkstra_csr(csr, csr.index_of[source], cutoff)
+        kernels = get_kernels(kernel).resolve(csr)
+        dist, order = kernels.sssp_dijkstra_csr(csr, csr.index_of[source],
+                                                cutoff)
         node_of = csr.node_of
         return {node_of[index]: dist[index] for index in order}
     distances: Dict[Node, float] = {}
@@ -98,9 +100,11 @@ def dijkstra_tree(graph, source: Node,
     return distances, parents
 
 
-def shortest_path_distance(graph, source: Node, target: Node) -> float:
+def shortest_path_distance(graph, source: Node, target: Node, *,
+                           kernel: KernelLike = None) -> float:
     """Distance from ``source`` to ``target`` (``inf`` if disconnected)."""
-    return bounded_distance(graph, source, target, budget=math.inf)
+    return bounded_distance(graph, source, target, budget=math.inf,
+                            kernel=kernel)
 
 
 def shortest_path(graph, source: Node, target: Node) -> Tuple[float, List[Node]]:
@@ -126,7 +130,8 @@ def shortest_path(graph, source: Node, target: Node) -> Tuple[float, List[Node]]
     return distances[target], path
 
 
-def bounded_distance(graph, source: Node, target: Node, budget: float) -> float:
+def bounded_distance(graph, source: Node, target: Node, budget: float, *,
+                     kernel: KernelLike = None) -> float:
     """Distance from ``source`` to ``target``, or ``inf`` if it exceeds ``budget``.
 
     This is the innermost primitive of the whole library.  The search settles
@@ -142,7 +147,8 @@ def bounded_distance(graph, source: Node, target: Node, budget: float) -> float:
         t = csr.index_of.get(target)
         if s is None or t is None:
             return math.inf
-        return bounded_dijkstra_csr(csr, s, t, budget)
+        kernels = get_kernels(kernel).resolve(csr)
+        return kernels.bounded_dijkstra_csr(csr, s, t, budget)
     if not graph.has_node(source) or not graph.has_node(target):
         return math.inf
     if source == target:
@@ -168,8 +174,8 @@ def bounded_distance(graph, source: Node, target: Node, budget: float) -> float:
     return math.inf
 
 
-def bounded_path(graph, source: Node, target: Node,
-                 budget: float) -> Tuple[float, List[Node]]:
+def bounded_path(graph, source: Node, target: Node, budget: float, *,
+                 kernel: KernelLike = None) -> Tuple[float, List[Node]]:
     """Like :func:`bounded_distance` but also returns a witness path.
 
     Used by the greedy path-packing fault oracle, which needs the internal
@@ -181,7 +187,9 @@ def bounded_path(graph, source: Node, target: Node,
         t = csr.index_of.get(target)
         if s is None or t is None:
             return math.inf, []
-        distance, index_path = bounded_dijkstra_path_csr(csr, s, t, budget)
+        kernels = get_kernels(kernel).resolve(csr)
+        distance, index_path = kernels.bounded_dijkstra_path_csr(
+            csr, s, t, budget)
         node_of = csr.node_of
         return distance, [node_of[index] for index in index_path]
     if not graph.has_node(source) or not graph.has_node(target):

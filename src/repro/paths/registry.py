@@ -1,0 +1,191 @@
+"""Kernel backend registry: named, swappable implementations of the CSR kernels.
+
+Mirrors the execution-backend registry in :mod:`repro.runtime.backend`: each
+backend is a named bundle of the six CSR kernel callables, consumers resolve
+one by name (or take the default), and unknown names fail loudly with the
+list of registered names.  Two backends ship:
+
+``loop``
+    The pure-Python reference kernels from :mod:`repro.paths.kernels`.
+    Always available; the semantics baseline.
+
+``numpy``
+    The vectorized twins from :mod:`repro.paths.kernels_np`, byte-identical
+    to ``loop`` on every output (distances, witness paths, visit orders,
+    early exits) but doing per-frontier work in array operations.  Registered
+    only when numpy imports; resolving it without numpy raises
+    ``RuntimeError`` with the import failure.
+
+The default is ``auto``: a dispatching backend that picks ``numpy`` for CSR
+snapshots with at least :data:`AUTO_NODE_THRESHOLD` nodes (where the array
+sweep wins decisively) and ``loop`` below it (where Python loop overhead is
+lower than numpy's per-call setup).  ``REPRO_KERNEL`` in the environment
+overrides the default; an explicit ``kernel=`` argument beats both.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.graph.csr import CSRGraph
+from repro.paths import kernels as _loop
+
+#: Node count at which the ``auto`` backend switches from loop to numpy
+#: kernels.  Below it the numpy per-call setup overhead dominates.
+AUTO_NODE_THRESHOLD = 100_000
+
+#: Environment variable consulted when no explicit kernel is requested.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """A named bundle of CSR kernel callables.
+
+    The six required kernels share signatures with their reference
+    definitions in :mod:`repro.paths.kernels`.  The optional batched/raw
+    entry points are ``None`` when a backend has no fused implementation;
+    consumers fall back to per-query calls.
+    """
+
+    name: str
+    description: str
+    bounded_dijkstra_csr: Callable
+    bounded_dijkstra_path_csr: Callable
+    sssp_dijkstra_csr: Callable
+    multi_target_dijkstra_csr: Callable
+    bfs_distances_csr: Callable
+    bounded_bfs_csr: Callable
+    multi_source_sssp: Optional[Callable] = None
+    multi_source_multi_target: Optional[Callable] = None
+    sssp_arrays: Optional[Callable] = None
+
+    def resolve(self, csr: CSRGraph) -> "KernelBackend":
+        """The concrete backend serving ``csr`` (identity for real backends)."""
+        return self
+
+
+class _AutoKernelBackend(KernelBackend):
+    """Size-gated dispatcher: numpy at scale, loop below the threshold."""
+
+    def resolve(self, csr: CSRGraph) -> KernelBackend:
+        if ("numpy" in _REGISTRY
+                and csr.num_nodes >= AUTO_NODE_THRESHOLD):
+            return _REGISTRY["numpy"]
+        return _REGISTRY["loop"]
+
+
+KernelLike = Union[None, str, KernelBackend]
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+#: Backends that exist by name but cannot be constructed here, mapped to the
+#: human-readable reason (e.g. numpy missing).  Requesting one raises
+#: ``RuntimeError`` instead of the unknown-name ``ValueError``.
+_UNAVAILABLE: Dict[str, str] = {}
+
+
+def register_kernel_backend(backend: KernelBackend) -> None:
+    """Register ``backend`` under its name, replacing any previous holder."""
+    _REGISTRY[backend.name] = backend
+    _UNAVAILABLE.pop(backend.name, None)
+
+
+def kernel_backend_names() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def describe_kernel_backends() -> List[dict]:
+    """Name/description/availability rows for every known backend."""
+    rows = [
+        {"name": name, "description": _REGISTRY[name].description,
+         "available": True}
+        for name in sorted(_REGISTRY)
+    ]
+    rows.extend(
+        {"name": name, "description": reason, "available": False}
+        for name, reason in sorted(_UNAVAILABLE.items())
+    )
+    return rows
+
+
+def get_kernels(kernel: KernelLike = None) -> KernelBackend:
+    """Resolve a kernel spec to a backend.
+
+    ``None`` consults :data:`KERNEL_ENV_VAR` and falls back to ``auto``;
+    a string is looked up in the registry; a :class:`KernelBackend` passes
+    through.  Unknown names raise ``ValueError`` listing the registry;
+    known-but-unavailable names raise ``RuntimeError`` with the reason.
+    """
+    if isinstance(kernel, KernelBackend):
+        return kernel
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR) or "auto"
+    try:
+        return _REGISTRY[kernel]
+    except KeyError:
+        if kernel in _UNAVAILABLE:
+            raise RuntimeError(
+                f"kernel backend {kernel!r} is not available: "
+                f"{_UNAVAILABLE[kernel]}"
+            ) from None
+        raise ValueError(
+            f"unknown kernel backend {kernel!r}; registered: "
+            f"{', '.join(kernel_backend_names())}"
+        ) from None
+
+
+register_kernel_backend(KernelBackend(
+    name="loop",
+    description="pure-Python reference kernels (always available)",
+    bounded_dijkstra_csr=_loop.bounded_dijkstra_csr,
+    bounded_dijkstra_path_csr=_loop.bounded_dijkstra_path_csr,
+    sssp_dijkstra_csr=_loop.sssp_dijkstra_csr,
+    multi_target_dijkstra_csr=_loop.multi_target_dijkstra_csr,
+    bfs_distances_csr=_loop.bfs_distances_csr,
+    bounded_bfs_csr=_loop.bounded_bfs_csr,
+))
+
+try:
+    from repro.paths import kernels_np as _np_kernels
+except ImportError as exc:  # pragma: no cover - exercised only without numpy
+    _UNAVAILABLE["numpy"] = f"numpy import failed ({exc})"
+else:
+    register_kernel_backend(KernelBackend(
+        name="numpy",
+        description="vectorized array kernels (requires numpy)",
+        bounded_dijkstra_csr=_np_kernels.bounded_dijkstra_csr,
+        bounded_dijkstra_path_csr=_np_kernels.bounded_dijkstra_path_csr,
+        sssp_dijkstra_csr=_np_kernels.sssp_dijkstra_csr,
+        multi_target_dijkstra_csr=_np_kernels.multi_target_dijkstra_csr,
+        bfs_distances_csr=_np_kernels.bfs_distances_csr,
+        bounded_bfs_csr=_np_kernels.bounded_bfs_csr,
+        multi_source_sssp=_np_kernels.multi_source_sssp_csr,
+        multi_source_multi_target=_np_kernels.multi_source_multi_target_csr,
+        sssp_arrays=_np_kernels.sssp_arrays_csr,
+    ))
+
+def _auto_dispatch(kernel_name: str) -> Callable:
+    # Per-call dispatch so even consumers that skip resolve() get the gate.
+    def call(csr: CSRGraph, *args, **kwargs):
+        backend = _REGISTRY["auto"].resolve(csr)
+        return getattr(backend, kernel_name)(csr, *args, **kwargs)
+    call.__name__ = kernel_name
+    return call
+
+
+_REGISTRY["auto"] = _AutoKernelBackend(
+    name="auto",
+    description=(
+        f"numpy kernels at >= {AUTO_NODE_THRESHOLD} nodes when available, "
+        "loop kernels otherwise"
+    ),
+    bounded_dijkstra_csr=_auto_dispatch("bounded_dijkstra_csr"),
+    bounded_dijkstra_path_csr=_auto_dispatch("bounded_dijkstra_path_csr"),
+    sssp_dijkstra_csr=_auto_dispatch("sssp_dijkstra_csr"),
+    multi_target_dijkstra_csr=_auto_dispatch("multi_target_dijkstra_csr"),
+    bfs_distances_csr=_auto_dispatch("bfs_distances_csr"),
+    bounded_bfs_csr=_auto_dispatch("bounded_bfs_csr"),
+)

@@ -51,7 +51,7 @@ from repro.graph.core import Graph, Node, edge_key
 from repro.graph.csr import CSRGraph, csr_snapshot
 from repro.graph.views import ExclusionView
 from repro.paths.dijkstra import bounded_distance, bounded_path
-from repro.paths.kernels import bounded_dijkstra_csr, bounded_dijkstra_path_csr
+from repro.paths.registry import KernelLike, get_kernels
 
 
 class OracleStats:
@@ -98,8 +98,10 @@ class FaultCheckOracle(ABC):
     #: Whether a ``None`` answer is guaranteed to mean "no fault set exists".
     exact: bool = True
 
-    def __init__(self) -> None:
+    def __init__(self, kernel: KernelLike = None) -> None:
         self.stats = OracleStats()
+        #: Kernel backend answering the CSR distance queries (auto if None).
+        self.kernels = get_kernels(kernel)
 
     @abstractmethod
     def find_breaking_fault_set(self, graph, source: Node, target: Node,
@@ -183,6 +185,7 @@ class ExhaustiveOracle(FaultCheckOracle):
         t = csr.index_of.get(target)
         mask = model.new_mask(csr)
         vertex_mask, edge_mask = model.kernel_masks(mask)
+        bounded_query = self.kernels.resolve(csr).bounded_dijkstra_csr
         for faults in enumerate_fault_sets(elements, max_faults):
             indices = model.mask_indices(csr, faults)
             for index in indices:
@@ -191,7 +194,7 @@ class ExhaustiveOracle(FaultCheckOracle):
             if s is None or t is None:
                 exceeded = True
             else:
-                exceeded = bounded_dijkstra_csr(
+                exceeded = bounded_query(
                     csr, s, t, budget, vertex_mask, edge_mask) > budget
             for index in indices:
                 mask[index] = 0
@@ -257,7 +260,7 @@ class BranchAndBoundOracle(FaultCheckOracle):
         if s is None or t is None:
             return list(current)
         vertex_mask, edge_mask = model.kernel_masks(mask)
-        distance, index_path = bounded_dijkstra_path_csr(
+        distance, index_path = self.kernels.resolve(csr).bounded_dijkstra_path_csr(
             csr, s, t, budget, vertex_mask, edge_mask)
         if distance > budget:
             return list(current)
@@ -368,7 +371,7 @@ class GreedyPathPackingOracle(FaultCheckOracle):
             self.stats.distance_queries += 1
             if s is None or t is None:
                 return model.canonical(chosen)
-            distance, index_path = bounded_dijkstra_path_csr(
+            distance, index_path = self.kernels.resolve(csr).bounded_dijkstra_path_csr(
                 csr, s, t, budget, vertex_mask, edge_mask)
             if distance > budget:
                 return model.canonical(chosen)
@@ -394,14 +397,20 @@ _ORACLES = {
 }
 
 
-def get_oracle(name: "str | FaultCheckOracle | None") -> FaultCheckOracle:
-    """Resolve an oracle by name; ``None`` gives the default exact oracle."""
+def get_oracle(name: "str | FaultCheckOracle | None",
+               kernel: KernelLike = None) -> FaultCheckOracle:
+    """Resolve an oracle by name; ``None`` gives the default exact oracle.
+
+    ``kernel`` picks the kernel backend the oracle's CSR distance queries
+    run on (passed through to the oracle constructor; ignored for
+    already-constructed oracle instances).
+    """
     if name is None:
-        return BranchAndBoundOracle()
+        return BranchAndBoundOracle(kernel)
     if isinstance(name, FaultCheckOracle):
         return name
     try:
-        return _ORACLES[name.lower()]()
+        return _ORACLES[name.lower()](kernel)
     except (KeyError, AttributeError):
         raise ValueError(
             f"unknown oracle {name!r}; expected one of {sorted(set(_ORACLES))}"

@@ -80,6 +80,7 @@ def ft_greedy_spanner(graph: Graph, stretch: float, max_faults: int,
                       progress_every: int = 0,
                       workers: int = 1,
                       backend: BackendLike = None,
+                      kernel: "str | None" = None,
                       on_progress: Optional[Callable[[str, int, int], None]] = None,
                       should_cancel: Optional[Callable[[], bool]] = None) -> SpannerResult:
     """Build an ``f``-fault-tolerant ``k``-spanner with Algorithm 1.
@@ -139,13 +140,14 @@ def ft_greedy_spanner(graph: Graph, stretch: float, max_faults: int,
         return _ft_greedy(graph, stretch, max_faults, fault_model,
                           oracle=oracle, record_witnesses=record_witnesses,
                           progress_every=progress_every, workers=workers,
-                          backend=backend, on_progress=on_progress,
+                          backend=backend, kernel=kernel,
+                          on_progress=on_progress,
                           should_cancel=should_cancel)
     from repro.build import BuildSpec, build
     spec = BuildSpec(
         algorithm="ft-greedy", stretch=stretch, max_faults=max_faults,
         fault_model=get_fault_model(fault_model).name, oracle=oracle,
-        workers=workers, backend=backend,
+        workers=workers, backend=backend, kernel=kernel,
         params={"record_witnesses": record_witnesses,
                 "progress_every": progress_every},
     )
@@ -160,6 +162,7 @@ def _ft_greedy(graph: Graph, stretch: float, max_faults: int,
                progress_every: int = 0,
                workers: int = 1,
                backend: BackendLike = None,
+               kernel: "str | None" = None,
                on_progress: Optional[Callable[[str, int, int], None]] = None,
                should_cancel: Optional[Callable[[], bool]] = None) -> SpannerResult:
     """The FT-greedy implementation behind the registry entry and the shim."""
@@ -168,7 +171,7 @@ def _ft_greedy(graph: Graph, stretch: float, max_faults: int,
     if max_faults < 0:
         raise ValueError("max_faults must be non-negative")
     model = get_fault_model(fault_model)
-    checker = get_oracle(oracle)
+    checker = get_oracle(oracle, kernel)
     checker.stats.reset()
 
     resolved: Optional[ExecutionBackend] = None
@@ -176,7 +179,8 @@ def _ft_greedy(graph: Graph, stretch: float, max_faults: int,
         resolved = get_backend(backend, workers)
     if resolved is not None and resolved.workers > 1:
         return _ft_greedy_parallel(graph, stretch, max_faults, model, checker,
-                                   resolved, record_witnesses=record_witnesses,
+                                   resolved, kernel=kernel,
+                                   record_witnesses=record_witnesses,
                                    progress_every=progress_every,
                                    on_progress=on_progress,
                                    should_cancel=should_cancel)
@@ -242,6 +246,7 @@ class _FTCheckContext:
     fault_model: str
     oracle: str
     max_faults: int
+    kernel: "str | None" = None
     #: Candidate universes in :meth:`Graph.nodes` / :meth:`Graph.edges`
     #: order — only the exhaustive oracle enumerates them, but pinning the
     #: order here is what keeps its tie-broken witnesses byte-identical to
@@ -254,7 +259,7 @@ def _ft_check_chunk(ctx: _FTCheckContext,
                     chunk: List[Tuple[Node, Node, float]]):
     """Speculatively fault-check one chunk of edges against the frozen H."""
     model = get_fault_model(ctx.fault_model)
-    checker = get_oracle(ctx.oracle)
+    checker = get_oracle(ctx.oracle, ctx.kernel)
     found: List[Optional[FaultSet]] = []
     for source, target, budget in chunk:
         candidates = None
@@ -272,6 +277,7 @@ def _ft_check_chunk(ctx: _FTCheckContext,
 def _ft_greedy_parallel(graph: Graph, stretch: float, max_faults: int,
                         model: FaultModel, checker: FaultCheckOracle,
                         backend: ExecutionBackend, *,
+                        kernel: "str | None" = None,
                         record_witnesses: bool,
                         progress_every: int,
                         on_progress: Optional[Callable[[str, int, int], None]],
@@ -320,7 +326,7 @@ def _ft_greedy_parallel(graph: Graph, stretch: float, max_faults: int,
         h_version = spanner.version
         context = _FTCheckContext(
             csr=csr_snapshot(spanner), fault_model=model.name,
-            oracle=checker.name, max_faults=max_faults,
+            oracle=checker.name, max_faults=max_faults, kernel=kernel,
             nodes=(tuple(spanner.nodes())
                    if ship_elements and model.uses_vertex_mask else None),
             edges=(tuple(spanner.edge_keys())

@@ -33,6 +33,7 @@ from repro.faults.models import FaultModel, FaultSet, get_fault_model
 from repro.graph.core import Graph, Node
 from repro.graph.csr import CSRGraph, csr_snapshot
 from repro.paths.dijkstra import dijkstra_distances
+from repro.paths.registry import KernelLike, get_kernels
 from repro.runtime.backend import BackendLike, get_backend
 from repro.runtime.merge import ChunkVerdict, merge_verdicts
 from repro.runtime.shard import chunk_size_for, iter_chunks, split_sequence
@@ -52,6 +53,7 @@ class _SweepContext:
     csr_h: CSRGraph
     #: ``None`` means "all targets"; otherwise source -> allowed target set.
     restrict: Optional[Dict[Node, frozenset]]
+    kernel: Optional[str] = None
 
 
 def _sweep_chunk(ctx: _SweepContext, sources: List[Node]) -> float:
@@ -62,12 +64,14 @@ def _sweep_chunk(ctx: _SweepContext, sources: List[Node]) -> float:
     gates nothing, so the floats match the unmasked kernels bit-for-bit.
     """
     return stretch_between_csr(ctx.csr_g, ctx.csr_h, get_fault_model("vertex"),
-                               [], sources=sources, restrict=ctx.restrict)
+                               [], sources=sources, restrict=ctx.restrict,
+                               kernel=ctx.kernel)
 
 
 def stretch_of(original: Graph, subgraph: Graph,
                pairs: Optional[List[Tuple[Node, Node]]] = None,
-               *, workers: int = 1, backend: BackendLike = None) -> float:
+               *, workers: int = 1, backend: BackendLike = None,
+               kernel: KernelLike = None) -> float:
     """Worst stretch ``dist_H(s, t) / dist_G(s, t)`` over pairs connected in ``G``.
 
     Returns ``inf`` if some pair connected in ``original`` is disconnected in
@@ -97,6 +101,7 @@ def stretch_of(original: Graph, subgraph: Graph,
             restrict=(None if restrict is None else
                       {node: frozenset(targets)
                        for node, targets in restrict.items()}),
+            kernel=get_kernels(kernel).name,
         )
         worst = 1.0
         for chunk_worst in resolved.map(_sweep_chunk,
@@ -122,9 +127,11 @@ def stretch_of(original: Graph, subgraph: Graph,
 
 
 def is_spanner(original: Graph, subgraph: Graph, stretch: float,
-               *, workers: int = 1, backend: BackendLike = None) -> bool:
+               *, workers: int = 1, backend: BackendLike = None,
+               kernel: KernelLike = None) -> bool:
     """Definition 1: whether ``subgraph`` is a ``stretch``-spanner of ``original``."""
-    return (stretch_of(original, subgraph, workers=workers, backend=backend)
+    return (stretch_of(original, subgraph, workers=workers, backend=backend,
+                       kernel=kernel)
             <= stretch * (1.0 + _RELATIVE_TOLERANCE))
 
 
@@ -160,6 +167,7 @@ class _VerifyContext:
     csr_h: CSRGraph
     fault_model: str
     threshold: float
+    kernel: Optional[str] = None
 
 
 def _verify_chunk(ctx: _VerifyContext, chunk: List) -> ChunkVerdict:
@@ -174,7 +182,8 @@ def _verify_chunk(ctx: _VerifyContext, chunk: List) -> ChunkVerdict:
     checked = 0
     for faults in chunk:
         checked += 1
-        value = stretch_between_csr(ctx.csr_g, ctx.csr_h, model, list(faults))
+        value = stretch_between_csr(ctx.csr_g, ctx.csr_h, model, list(faults),
+                                    kernel=ctx.kernel)
         if value > worst:
             worst = value
         if value > ctx.threshold:
@@ -189,7 +198,8 @@ def is_ft_spanner(original: Graph, subgraph: Graph, stretch: float, max_faults: 
                   *, method: str = "auto", samples: int = 200, rng=None,
                   exhaustive_limit: int = 50_000,
                   workers: int = 1,
-                  backend: BackendLike = None) -> FTVerificationReport:
+                  backend: BackendLike = None,
+                  kernel: KernelLike = None) -> FTVerificationReport:
     """Definition 2: verify that ``subgraph`` is an ``f``-fault-tolerant spanner.
 
     Parameters
@@ -242,7 +252,8 @@ def is_ft_spanner(original: Graph, subgraph: Graph, stretch: float, max_faults: 
         resolved = get_backend(backend, workers)
         context = _VerifyContext(csr_g=csr_snapshot(original),
                                  csr_h=csr_snapshot(subgraph),
-                                 fault_model=model.name, threshold=threshold)
+                                 fault_model=model.name, threshold=threshold,
+                                 kernel=get_kernels(kernel).name)
         chunks = iter_chunks(candidates, chunk_size_for(total, resolved.workers))
         verdict = merge_verdicts(
             resolved.imap(_verify_chunk, chunks, context=context))
