@@ -36,7 +36,6 @@ whether the gate was armed.
 import argparse
 import json
 import pathlib
-import time
 
 import pytest
 
@@ -45,6 +44,7 @@ from repro.build.session import BuildSession
 from repro.dynamic import LiveEngine
 from repro.engine.workload import Query, update_churn
 from repro.graph import generators
+from repro.utils.timing import Timer, timed
 from repro.spanners.verify import is_ft_spanner
 
 #: Incremental maintenance must stay >= this much faster per update ...
@@ -71,32 +71,31 @@ def _run_incremental(graph, events, spec):
     session.build()
     live = LiveEngine(session.dynamic())
     batch = []
-    started = time.perf_counter()
-    for event in events:
-        if isinstance(event, Query):
-            batch.append((event.source, event.target, event.faults))
-        else:
-            if batch:
-                live.distances_batch(batch)
-                batch = []
-            live.apply(event)
-    if batch:
-        live.distances_batch(batch)
-    return live, time.perf_counter() - started
+    with timed("incremental") as timer:
+        for event in events:
+            if isinstance(event, Query):
+                batch.append((event.source, event.target, event.faults))
+            else:
+                if batch:
+                    live.distances_batch(batch)
+                    batch = []
+                live.apply(event)
+        if batch:
+            live.distances_batch(batch)
+    return live, timer.elapsed
 
 
 def _run_rebuild_baseline(graph, updates, spec, sample_every: int):
     """Time from-scratch rebuilds after every ``sample_every``-th update."""
     current = graph.copy()
-    rebuild_seconds = []
+    timer = Timer("rebuild")
     final_result = None
     for index, update in enumerate(updates):
         update.apply(current)
         if index % sample_every == 0 or index == len(updates) - 1:
-            started = time.perf_counter()
-            final_result = build(current, spec)
-            rebuild_seconds.append(time.perf_counter() - started)
-    return final_result, rebuild_seconds
+            with timer.measure():
+                final_result = build(current, spec)
+    return final_result, timer.laps
 
 
 def record_dynamic(path=None, *, quick: bool = False) -> dict:

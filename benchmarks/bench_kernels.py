@@ -18,7 +18,6 @@ speedup) in ``BENCH_kernels.json`` at the repository root::
 
 import json
 import pathlib
-import time
 
 import pytest
 
@@ -31,6 +30,7 @@ from repro.spanners.blocking import extract_blocking_set, lemma4_subsample
 from repro.spanners.fault_check import BranchAndBoundOracle
 from repro.spanners.ft_greedy import ft_greedy_spanner
 from repro.spanners.greedy import greedy_spanner
+from repro.utils.timing import best_of
 from repro.graph.girth import girth
 
 
@@ -228,9 +228,9 @@ def record_loop_vs_numpy(path: "pathlib.Path | str" = None,
     for source in sources:  # identity first, unconditionally
         assert (loop.sssp_dijkstra_csr(csr, source)
                 == npk.sssp_dijkstra_csr(csr, source))
-    loop_s = _time_best_of(
+    loop_s = best_of(
         lambda: [loop.sssp_dijkstra_csr(csr, s) for s in sources], repeats=2)
-    numpy_s = _time_best_of(
+    numpy_s = best_of(
         lambda: [npk.sssp_dijkstra_csr(csr, s) for s in sources], repeats=2)
     speedup = loop_s / numpy_s
     report.update({
@@ -267,15 +267,6 @@ def test_sssp_backend(benchmark, backend):
 # Script mode: record the CSR-vs-dict comparison in BENCH_kernels.json
 # ---------------------------------------------------------------------------
 
-def _time_best_of(fn, repeats: int = 5) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def record_csr_vs_dict(path: "pathlib.Path | str" = None) -> dict:
     """Measure kernels against the dict/view path and write BENCH_kernels.json."""
     if path is None:
@@ -288,8 +279,8 @@ def record_csr_vs_dict(path: "pathlib.Path | str" = None) -> dict:
         graph, pairs, faults, budget = _masked_query_case(n, m)
         assert _run_view(graph, pairs, faults, budget) == \
             _run_csr(graph, pairs, faults, budget)
-        view_s = _time_best_of(lambda: _run_view(graph, pairs, faults, budget))
-        csr_s = _time_best_of(lambda: _run_csr(graph, pairs, faults, budget))
+        view_s = best_of(lambda: _run_view(graph, pairs, faults, budget))
+        csr_s = best_of(lambda: _run_csr(graph, pairs, faults, budget))
         report["cases"].append({
             "n": n, "m": m, "queries": len(pairs), "faults": len(faults),
             "budget": budget,

@@ -88,8 +88,15 @@ from repro.paths import (
     get_kernels,
     kernel_backend_names,
 )
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracer,
+    get_registry,
+    get_tracer,
+    render_prometheus,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Graph",
@@ -142,5 +149,10 @@ __all__ = [
     "describe_kernel_backends",
     "get_kernels",
     "kernel_backend_names",
+    "MetricsRegistry",
+    "SpanTracer",
+    "get_registry",
+    "get_tracer",
+    "render_prometheus",
     "__version__",
 ]

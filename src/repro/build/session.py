@@ -24,17 +24,44 @@ progress callbacks and cooperative cancellation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.build.registry import validate_spec
 from repro.build.spec import BuildCancelled, BuildSpec
 from repro.graph.core import Graph
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.spanners.base import SpannerResult
 from repro.utils.logging import get_logger
 from repro.utils.rng import RandomSource, ensure_rng
 
 _LOGGER = get_logger("build.session")
+
+_BUILDS = get_registry().counter(
+    "build.builds", "spanner constructions run, by algorithm")
+_BUILD_SECONDS = get_registry().histogram(
+    "build.seconds", "construction wall time")
+
+
+def _run_builder(algorithm, graph: Graph, spec: BuildSpec, ctx) -> SpannerResult:
+    """Run one registered builder inside the build span and counters.
+
+    Shared by the :func:`build` facade and :meth:`BuildSession.build` (which
+    calls the builder directly to reuse its validated algorithm entry), so
+    every construction — whatever the entry point — lands in the same
+    ``build.*`` metric family and trace phase.
+    """
+    started = time.perf_counter()
+    with get_tracer().span("build.construct", algorithm=spec.algorithm,
+                           stretch=spec.stretch, max_faults=spec.max_faults,
+                           workers=spec.workers) as span:
+        result = algorithm.builder(graph, spec, ctx)
+        span.set(edges_added=result.edges_added)
+    _BUILDS.labels(algorithm=spec.algorithm).inc()
+    _BUILD_SECONDS.observe(time.perf_counter() - started)
+    return result
 
 #: ``on_progress(stage, done, total)`` — ``total`` may be 0 when unknown.
 ProgressCallback = Callable[[str, int, int], None]
@@ -82,7 +109,7 @@ def build(graph: Graph, spec: BuildSpec, *,
     algorithm = validate_spec(spec)
     ctx = BuildContext(on_progress=on_progress, should_cancel=should_cancel)
     ctx.check_cancelled()
-    return algorithm.builder(graph, spec, ctx)
+    return _run_builder(algorithm, graph, spec, ctx)
 
 
 class BuildSession:
@@ -120,8 +147,8 @@ class BuildSession:
         if self._result is None:
             self._ctx.check_cancelled()
             self._ctx.progress("build", 0, 1)
-            self._result = self.algorithm.builder(self.graph, self.spec,
-                                                  self._ctx)
+            self._result = _run_builder(self.algorithm, self.graph, self.spec,
+                                        self._ctx)
             self._ctx.progress("build", 1, 1)
         return self._result
 
@@ -140,12 +167,14 @@ class BuildSession:
         self._ctx.progress("verify", 0, 1)
         fault_model = (result.fault_model if result.fault_model != "none"
                        else self.spec.fault_model)
-        self._report = is_ft_spanner(
-            self.graph, result.spanner, self.spec.stretch,
-            self.spec.max_faults, fault_model=fault_model, method=method,
-            samples=samples, rng=self.spec.seed if rng is None else rng,
-            workers=self.spec.workers, backend=self.spec.backend,
-            kernel=self.spec.kernel)
+        with get_tracer().span("session.verify",
+                               algorithm=self.spec.algorithm):
+            self._report = is_ft_spanner(
+                self.graph, result.spanner, self.spec.stretch,
+                self.spec.max_faults, fault_model=fault_model, method=method,
+                samples=samples, rng=self.spec.seed if rng is None else rng,
+                workers=self.spec.workers, backend=self.spec.backend,
+                kernel=self.spec.kernel)
         self._ctx.progress("verify", 1, 1)
         return self._report
 
@@ -165,8 +194,10 @@ class BuildSession:
 
         if self._snapshot is None or self._snapshot_keep_original != keep_original:
             result = self.build()
-            self._snapshot = SpannerSnapshot.from_result(
-                result, keep_original=keep_original, spec=self.spec)
+            with get_tracer().span("session.snapshot",
+                                   keep_original=keep_original):
+                self._snapshot = SpannerSnapshot.from_result(
+                    result, keep_original=keep_original, spec=self.spec)
             self._snapshot_keep_original = keep_original
         return self._snapshot
 

@@ -23,7 +23,14 @@ Installed as ``repro-spanner`` (see ``pyproject.toml``) and runnable as
   maintained spanner and writing the refreshed snapshot back out;
 * ``replay``      — deterministically replay an update journal onto a graph
   file, optionally cross-checking incremental maintenance against a
-  from-scratch rebuild at the final graph.
+  from-scratch rebuild at the final graph;
+* ``stats``       — render a metrics snapshot saved by ``--metrics-json`` /
+  ``REPRO_METRICS`` as a table, Prometheus text, or JSON.
+
+``build``, ``verify``, ``serve``, ``query``, and ``update`` all accept
+``--trace PATH`` (JSONL span trace, or the ``REPRO_TRACE`` environment
+variable) and ``--metrics-json PATH`` (schema-stable metrics snapshot, or
+``REPRO_METRICS``) — see :mod:`repro.obs`.
 
 Update journals are the JSON documents of :mod:`repro.dynamic.updates`.
 
@@ -42,6 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
 from pathlib import Path
@@ -65,6 +73,15 @@ from repro.engine.workload import (
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.workloads import WORKLOADS, get_workload
 from repro.graph.io import load_graph_auto, parse_node, save_graph_auto
+from repro.obs.export import (
+    METRICS_ENV_VAR,
+    load_metrics_json,
+    render_metrics_table,
+    render_prometheus,
+    write_metrics_json,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TRACE_ENV_VAR, get_tracer
 from repro.graph.products import relabel_product_nodes
 from repro.spanners.verify import STRETCH_TOLERANCE, is_ft_spanner, stretch_of
 from repro.utils.logging import configure_cli_logging, get_logger
@@ -605,6 +622,18 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    document = load_metrics_json(args.metrics)
+    snapshot = document["metrics"]
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+    elif args.format == "prometheus":
+        print(render_prometheus(snapshot), end="")
+    else:
+        print(render_metrics_table(snapshot).to_ascii())
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.paths import describe_kernel_backends
 
@@ -678,6 +707,17 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument("--seed", type=int, default=None,
                                  help="seed for randomized constructions")
 
+    def add_obs_options(command: argparse.ArgumentParser) -> None:
+        """Observability outputs shared by the run-something verbs; the
+        flags beat the environment variables, which beat "off"."""
+        command.add_argument("--trace", default=None, metavar="PATH",
+                             help="write a JSONL span trace of this run here "
+                                  f"(default: ${TRACE_ENV_VAR})")
+        command.add_argument("--metrics-json", default=None, metavar="PATH",
+                             help="write this run's metrics snapshot here as "
+                                  f"JSON (default: ${METRICS_ENV_VAR}); "
+                                  "render it with 'repro-spanner stats'")
+
     build = sub.add_parser("build", help="build a (fault tolerant) spanner of a graph file")
     build.add_argument("input", help="input graph (.json or edge list)")
     build.add_argument("--output", "-o", help="where to write the spanner")
@@ -685,6 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--save-snapshot",
                        help="also write a serving snapshot (records the "
                             "build spec for later rebuilds)")
+    add_obs_options(build)
     build.set_defaults(func=_cmd_build)
 
     verify = sub.add_parser("verify", help="verify the (FT) spanner property")
@@ -708,6 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "'auto'); results are byte-identical")
     verify.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON report")
+    add_obs_options(verify)
     verify.set_defaults(func=_cmd_verify)
 
     experiment = sub.add_parser("experiment", help="run a registered experiment (E1..E10)")
@@ -759,6 +801,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", action="store_true",
                        help="emit the serving report as JSON")
+    add_obs_options(serve)
     serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser(
@@ -774,6 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also compare against the original graph "
                             "(snapshot must carry it)")
     query.add_argument("--json", action="store_true")
+    add_obs_options(query)
     query.set_defaults(func=_cmd_query)
 
     update = sub.add_parser(
@@ -802,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault sets per sampled certification")
     update.add_argument("--json", action="store_true",
                         help="emit the maintenance report as JSON")
+    add_obs_options(update)
     update.set_defaults(func=_cmd_update)
 
     replay = sub.add_parser(
@@ -824,6 +869,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the replay report as JSON")
     replay.set_defaults(func=_cmd_replay)
 
+    stats = sub.add_parser(
+        "stats",
+        help="render a metrics snapshot saved by --metrics-json")
+    stats.add_argument("metrics",
+                       help="metrics JSON written by --metrics-json or "
+                            f"${METRICS_ENV_VAR}")
+    stats.add_argument("--format", choices=["table", "prometheus", "json"],
+                       default="table",
+                       help="rendering (default: human-readable table)")
+    stats.set_defaults(func=_cmd_stats)
+
     lister = sub.add_parser(
         "list", help="list algorithms, experiments, and workloads")
     lister.set_defaults(func=_cmd_list)
@@ -836,11 +892,27 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_cli_logging(verbose=args.verbose)
+    # Only verbs that declare the observability flags honour the env vars:
+    # `stats` and `list` never trace themselves.
+    trace_path = (args.trace or os.environ.get(TRACE_ENV_VAR)
+                  if hasattr(args, "trace") else None)
+    metrics_path = (args.metrics_json or os.environ.get(METRICS_ENV_VAR)
+                    if hasattr(args, "metrics_json") else None)
+    tracer = get_tracer()
     try:
-        return args.func(args)
+        if trace_path:
+            tracer.configure(trace_path)
+        code = args.func(args)
+        if metrics_path:
+            write_metrics_json(metrics_path, get_registry(),
+                               meta={"command": args.command,
+                                     "exit_code": code})
+        return code
     except (ValueError, OSError) as error:
         _LOGGER.error("%s", error)
         return 2
+    finally:
+        tracer.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -71,8 +71,11 @@ from repro.dynamic.updates import (
 from repro.faults.models import FaultSet, get_fault_model
 from repro.graph.core import Graph, edge_key
 from repro.graph.csr import csr_snapshot
+from repro.obs.metrics import SIZE_BUCKETS, component_registry, get_registry
+from repro.obs.trace import get_tracer
 from repro.paths.registry import get_kernels
 from repro.runtime.backend import ExecutionBackend, get_backend
+from repro.runtime.merge import merge_counters
 from repro.runtime.shard import split_sequence
 from repro.spanners.base import SpannerResult
 from repro.spanners.fault_check import get_oracle
@@ -180,20 +183,76 @@ class DynamicSpanner:
         self.repair_log: List[DirtyRegion] = []
         #: Certification outcomes, in order.
         self.certifications: List[CertificationRecord] = []
-        self.updates_applied = 0
-        self.incremental_accepts = 0
-        self.incremental_rejects = 0
-        self.repairs = 0
-        self.repair_edges_added = 0
-        self.dirty_candidates_checked = 0
-        self.dirty_pool_seen = 0
-        self.maintenance_seconds = 0.0
+        # Maintenance counters live on the maintainer's own registry
+        # (``dynamic.*`` family, attached to the process default); the
+        # historical attribute names stay readable as properties below.
+        self.metrics = component_registry("dynamic")
+        self._updates_applied = self.metrics.counter(
+            "dynamic.updates_applied", "updates applied through apply()")
+        self._incremental_accepts = self.metrics.counter(
+            "dynamic.incremental_accepts", "acceptance tests that kept an edge")
+        self._incremental_rejects = self.metrics.counter(
+            "dynamic.incremental_rejects",
+            "acceptance tests that dropped an edge")
+        self._repairs = self.metrics.counter(
+            "dynamic.repairs", "dirty-region repair sweeps run")
+        self._repair_edges_added = self.metrics.counter(
+            "dynamic.repair_edges_added", "edges re-admitted by repairs")
+        self._dirty_candidates_checked = self.metrics.counter(
+            "dynamic.dirty_candidates_checked",
+            "dirty candidates re-swept by repairs")
+        self._dirty_pool_seen = self.metrics.counter(
+            "dynamic.dirty_pool_seen",
+            "rejected-edge pool size across repairs (selectivity denominator)")
+        self._maintenance_seconds = self.metrics.counter(
+            "dynamic.maintenance_seconds", "wall time spent inside apply()")
+        self._update_seconds = self.metrics.histogram(
+            "dynamic.update_seconds", "per-update maintenance latency")
+        self._repair_seconds = self.metrics.histogram(
+            "dynamic.repair_seconds", "per-repair sweep latency")
+        self._dirty_region_size = self.metrics.histogram(
+            "dynamic.dirty_region_size", "dirty candidates per repair",
+            buckets=SIZE_BUCKETS)
+        self._certify_seconds = self.metrics.histogram(
+            "dynamic.certify_seconds", "per-certification wall time")
         self._base_oracle_queries = self.oracle.stats.queries
         # Oracle work done inside worker processes (their per-process stats
         # never reach self.oracle.stats) — folded into stats() so parallel
         # runs report actual speculative work, like the parallel builder.
-        self._worker_oracle_queries = 0
-        self._worker_distance_queries = 0
+        self._worker_counters: Dict[str, float] = {}
+
+    # ----------------------------------------------------- counter thin views
+    @property
+    def updates_applied(self) -> int:
+        return self._updates_applied.value
+
+    @property
+    def incremental_accepts(self) -> int:
+        return self._incremental_accepts.value
+
+    @property
+    def incremental_rejects(self) -> int:
+        return self._incremental_rejects.value
+
+    @property
+    def repairs(self) -> int:
+        return self._repairs.value
+
+    @property
+    def repair_edges_added(self) -> int:
+        return self._repair_edges_added.value
+
+    @property
+    def dirty_candidates_checked(self) -> int:
+        return self._dirty_candidates_checked.value
+
+    @property
+    def dirty_pool_seen(self) -> int:
+        return self._dirty_pool_seen.value
+
+    @property
+    def maintenance_seconds(self) -> float:
+        return self._maintenance_seconds.value
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -235,17 +294,21 @@ class DynamicSpanner:
         nothing) when the op does not fit the live graph.
         """
         started = time.perf_counter()
-        if isinstance(update, EdgeInsert):
-            outcome = self._apply_insert(update)
-        elif isinstance(update, EdgeDelete):
-            outcome = self._apply_delete(update)
-        elif isinstance(update, WeightChange):
-            outcome = self._apply_reweight(update)
-        else:
-            raise UpdateError(f"not an update op: {update!r}")
-        elapsed = time.perf_counter() - started
-        self.maintenance_seconds += elapsed
-        self.updates_applied += 1
+        with get_tracer().span("dynamic.apply",
+                               op=type(update).__name__) as span:
+            if isinstance(update, EdgeInsert):
+                outcome = self._apply_insert(update)
+            elif isinstance(update, EdgeDelete):
+                outcome = self._apply_delete(update)
+            elif isinstance(update, WeightChange):
+                outcome = self._apply_reweight(update)
+            else:
+                raise UpdateError(f"not an update op: {update!r}")
+            elapsed = time.perf_counter() - started
+            span.set(spanner_changed=outcome[3])
+        self._maintenance_seconds.inc(elapsed)
+        self._update_seconds.observe(elapsed)
+        self._updates_applied.inc()
         self.journal.append(update)
         return UpdateOutcome(
             update=update,
@@ -271,9 +334,9 @@ class DynamicSpanner:
         if fault_set is not None:
             self.spanner.add_edge(update.u, update.v, update.weight)
             self.witnesses[update.edge] = fault_set
-            self.incremental_accepts += 1
+            self._incremental_accepts.inc()
             return True, None, (), True
-        self.incremental_rejects += 1
+        self._incremental_rejects.inc()
         return False, None, (), False
 
     def _apply_delete(self, update: EdgeDelete):
@@ -336,9 +399,9 @@ class DynamicSpanner:
             if fault_set is not None:
                 self.spanner.add_edge(update.u, update.v, new_weight)
                 self.witnesses[update.edge] = fault_set
-                self.incremental_accepts += 1
+                self._incremental_accepts.inc()
                 return True, None, (), True
-            self.incremental_rejects += 1
+            self._incremental_rejects.inc()
             return False, None, (), False
         # A rejected edge got heavier: its budget grew, H is unchanged.
         return None, None, (), False
@@ -346,18 +409,22 @@ class DynamicSpanner:
     # ------------------------------------------------------------------ repair
     def _repair(self, region: DirtyRegion) -> Tuple[Candidate, ...]:
         """Greedy acceptance sweep over one dirty region; returns re-admissions."""
-        self.repairs += 1
+        self._repairs.inc()
         self.repair_log.append(region)
-        self.dirty_candidates_checked += len(region.candidates)
-        self.dirty_pool_seen += region.candidate_pool
+        self._dirty_candidates_checked.inc(len(region.candidates))
+        self._dirty_pool_seen.inc(region.candidate_pool)
+        self._dirty_region_size.observe(len(region.candidates))
         if not region.candidates:
+            self._repair_seconds.observe(0.0)
             return ()
+        started = time.perf_counter()
         backend = get_backend(self.spec.backend, self.spec.workers)
         if backend.workers > 1 and len(region.candidates) >= _PARALLEL_SWEEP_MIN:
             added = self._sweep_parallel(region.candidates, backend)
         else:
             added = self._sweep_serial(region.candidates)
-        self.repair_edges_added += len(added)
+        self._repair_seconds.observe(time.perf_counter() - started)
+        self._repair_edges_added.inc(len(added))
         if added:
             _LOGGER.debug("repair after %s %s: %d/%d dirty candidates re-admitted",
                           region.reason, region.trigger, len(added),
@@ -398,12 +465,15 @@ class DynamicSpanner:
         )
         tasks = [(u, v, self.stretch * w) for u, v, w in candidates]
         speculative: List[Optional[FaultSet]] = []
-        for chunk_found, queries, distance_queries in backend.map(
+        registry = get_registry()
+        for chunk_found, counters in backend.map(
                 _ft_check_chunk, split_sequence(tasks, backend.workers),
-                context=context):
+                context=context, metrics=registry):
             speculative.extend(chunk_found)
-            self._worker_oracle_queries += queries
-            self._worker_distance_queries += distance_queries
+            # Same two-target fold as the parallel builder: local tally for
+            # stats(), process registry for the exported oracle totals.
+            merge_counters(self._worker_counters, counters)
+            registry.merge_counters(counters)
         added: List[Candidate] = []
         for (u, v, w), fault_set in zip(candidates, speculative):
             if fault_set is None:
@@ -427,6 +497,7 @@ class DynamicSpanner:
         stretch/budget/model and its ``workers``/``backend`` knobs; the
         record is appended to :attr:`certifications`.
         """
+        started = time.perf_counter()
         report = certify(
             self.graph, self.spanner, self.stretch, self.max_faults,
             self.model.name, method=method, samples=samples,
@@ -434,6 +505,7 @@ class DynamicSpanner:
             exhaustive_limit=exhaustive_limit,
             workers=self.spec.workers, backend=self.spec.backend,
             kernel=self.spec.kernel)
+        self._certify_seconds.observe(time.perf_counter() - started)
         record = CertificationRecord(
             report=report, graph_version=self.graph.version,
             spanner_version=self.spanner.version,
@@ -475,7 +547,8 @@ class DynamicSpanner:
             # the spanner and witnesses this is *not* identical to serial.
             "oracle_queries": (self.oracle.stats.queries
                                - self._base_oracle_queries
-                               + self._worker_oracle_queries),
+                               + int(self._worker_counters.get(
+                                   "oracle.queries", 0))),
             "maintenance_seconds": self.maintenance_seconds,
             "certifications": len(self.certifications),
             "last_certification_ok": (self.certifications[-1].ok

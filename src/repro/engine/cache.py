@@ -14,8 +14,11 @@ Two invalidation mechanisms:
   moment the served graph's version moves, so a mutated spanner can never
   serve stale distances.
 
-All traffic is counted (hits / misses / evictions / invalidations) and
-surfaces in :meth:`QueryEngine.stats`.
+All traffic is counted on the metrics registry (:mod:`repro.obs`) under the
+``engine.cache.*`` family — hits / misses / evictions / invalidations — and
+surfaces both in :meth:`QueryEngine.stats` (the historical dict view) and in
+the process-wide metrics export.  ``hit_rate`` is always a number: an
+untouched cache reports ``0.0``, never a division error.
 """
 
 from __future__ import annotations
@@ -23,25 +26,54 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional
 
+from repro.obs.metrics import MetricsRegistry, component_registry
+
 
 class ResultCache:
     """A bounded LRU mapping with hit/miss/eviction/invalidation counters.
 
     ``capacity <= 0`` disables caching entirely (every ``get`` misses, every
     ``put`` is a no-op) — the engine uses this to run in pure streaming mode.
+    ``metrics`` lets an owning component (the engine) host the cache
+    counters on its own registry; a standalone cache gets its own, attached
+    to the process default either way.
     """
 
-    __slots__ = ("capacity", "version", "hits", "misses", "evictions",
-                 "invalidations", "_entries")
+    __slots__ = ("capacity", "version", "metrics", "_hits", "_misses",
+                 "_evictions", "_invalidations", "_entries")
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, *,
+                 metrics: Optional[MetricsRegistry] = None):
         self.capacity = capacity
         self.version: Optional[int] = None
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self.metrics = metrics if metrics is not None else component_registry("cache")
+        self._hits = self.metrics.counter(
+            "engine.cache.hits", "cache lookups answered from memory")
+        self._misses = self.metrics.counter(
+            "engine.cache.misses", "cache lookups that fell through")
+        self._evictions = self.metrics.counter(
+            "engine.cache.evictions", "LRU entries dropped at capacity")
+        self._invalidations = self.metrics.counter(
+            "engine.cache.invalidations",
+            "whole-cache clears on graph version moves")
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------ thin views
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
 
     @property
     def enabled(self) -> bool:
@@ -66,7 +98,7 @@ class ResultCache:
             return
         if version != self.version:
             if self._entries:
-                self.invalidations += 1
+                self._invalidations.inc()
                 self._entries.clear()
             self.version = version
 
@@ -79,9 +111,9 @@ class ResultCache:
         """Return the cached value for ``key`` (refreshing recency) or ``None``."""
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self._misses.inc()
             return None
-        self.hits += 1
+        self._hits.inc()
         self._entries.move_to_end(key)
         return entry
 
@@ -95,16 +127,17 @@ class ResultCache:
         entries[key] = value
         if len(entries) > self.capacity:
             entries.popitem(last=False)
-            self.evictions += 1
+            self._evictions.inc()
 
     # ----------------------------------------------------------------- stats
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when untouched)."""
-        total = self.hits + self.misses
+        hits = self._hits.value
+        total = hits + self._misses.value
         if total == 0:
             return 0.0
-        return self.hits / total
+        return hits / total
 
     def stats(self) -> Dict[str, Any]:
         """Counter snapshot for the engine's stats report."""

@@ -21,6 +21,16 @@ Answers are identical either way, and identical to the per-query reference
 (one Dijkstra per query over ``ExclusionView``): batching and caching are
 execution strategies, not approximations.  ``tests/test_engine.py`` holds
 this line property-style.
+
+Observability: every serving counter lives on the engine's own metrics
+registry (``engine.*`` family, attached to the process default — see
+:mod:`repro.obs`), with the historical attributes (``queries_served``,
+``kernel_calls``, ...) preserved as read-only views and :meth:`stats` as the
+dict rendering.  Batch occupancy and per-group kernel time are histograms;
+``distances_batch`` opens a tracer span so traces attribute kernel work to
+the batches that caused it.  Pooled audit sweeps ship their counters back
+per chunk and fold through :func:`repro.obs.merge_counters`, so parallel
+audits report exactly the serial counters.
 """
 
 from __future__ import annotations
@@ -43,6 +53,8 @@ from repro.engine.snapshot import SpannerSnapshot
 from repro.faults.models import FaultSet, get_fault_model
 from repro.graph.core import Node
 from repro.graph.csr import CSRGraph
+from repro.obs.metrics import SIZE_BUCKETS, component_registry, get_registry
+from repro.obs.trace import get_tracer
 from repro.paths.registry import KernelLike, get_kernels
 from repro.runtime.backend import BackendLike, SerialBackend, get_backend
 from repro.runtime.shard import split_sequence
@@ -100,14 +112,15 @@ class _AuditContext:
 
 
 def _audit_chunk(ctx: _AuditContext,
-                 chunk: List) -> Tuple[List[Tuple[float, float]], int, int]:
+                 chunk: List) -> Tuple[List[Tuple[float, float]], Dict[str, int]]:
     """Resolve one chunk of ``(source, target, canonical faults)`` audits.
 
     Returns the ``(spanner_distance, original_distance)`` pairs in request
-    order plus the spanner / original kernel-run counts — the workers'
-    contribution to the engine counters.  Uses the same early-exiting
-    multi-target kernel as the in-process path, so distances are
-    bit-identical to :meth:`QueryEngine.stretch_audit`.
+    order plus a flat counters mapping (spanner / original kernel-run
+    counts) — the workers' contribution to the engine registry, folded by
+    the caller through :meth:`MetricsRegistry.merge_counters`.  Uses the
+    same early-exiting multi-target kernel as the in-process path, so
+    distances are bit-identical to :meth:`QueryEngine.stretch_audit`.
     """
     model = get_fault_model(ctx.fault_model)
     kernels = get_kernels(ctx.kernel)
@@ -129,7 +142,8 @@ def _audit_chunk(ctx: _AuditContext,
                 csr, source_index, [target_index], vertex_mask, edge_mask)[0])
             calls[side] += 1
         results.append((pair[0], pair[1]))
-    return results, calls[0], calls[1]
+    return results, {"engine.kernel_calls": calls[0],
+                     "engine.audit_kernel_calls": calls[1]}
 
 
 class QueryEngine:
@@ -160,7 +174,8 @@ class QueryEngine:
                  workers: int = 1, kernel: KernelLike = None):
         self.snapshot = snapshot
         self.model = get_fault_model(snapshot.fault_model)
-        self.cache = ResultCache(cache_size)
+        self.metrics = component_registry("engine")
+        self.cache = ResultCache(cache_size, metrics=self.metrics)
         self.backend = get_backend(backend, workers)
         self.kernel = get_kernels(kernel)
         #: Admission policy: a full distance vector is computed and cached
@@ -170,20 +185,67 @@ class QueryEngine:
         #: multi-target kernel instead, so one-shot traffic never pays for a
         #: vector nobody will read again.  ``1`` caches unconditionally.
         self.admit_threshold = admit_threshold
-        self.queries_served = 0
-        self.batches_planned = 0
-        self.groups_executed = 0
-        self.kernel_calls = 0
-        #: Multi-source kernel invocations; each replaces >= 2 logical
-        #: kernel runs (``kernel_calls`` keeps counting those, so batching
-        #: metrics stay comparable across kernel backends).
-        self.fused_sweeps = 0
-        self.audits = 0
-        self.audit_kernel_calls = 0
-        self.busy_seconds = 0.0
+        self._queries_served = self.metrics.counter(
+            "engine.queries_served", "distance queries answered")
+        self._batches_planned = self.metrics.counter(
+            "engine.batches_planned", "distances_batch calls planned")
+        self._groups_executed = self.metrics.counter(
+            "engine.groups_executed", "(source, fault set) groups served")
+        self._kernel_calls = self.metrics.counter(
+            "engine.kernel_calls", "logical serving kernel runs")
+        # Multi-source kernel invocations; each replaces >= 2 logical kernel
+        # runs (``kernel_calls`` keeps counting those, so batching metrics
+        # stay comparable across kernel backends).
+        self._fused_sweeps = self.metrics.counter(
+            "engine.fused_sweeps", "multi-source kernel invocations")
+        self._audits = self.metrics.counter(
+            "engine.audits", "stretch audits resolved")
+        self._audit_kernel_calls = self.metrics.counter(
+            "engine.audit_kernel_calls", "ground-truth kernel runs for audits")
+        self._busy_seconds = self.metrics.counter(
+            "engine.busy_seconds", "wall time spent inside the engine")
+        self._batch_occupancy = self.metrics.histogram(
+            "engine.batch_occupancy", "queries per distances_batch call",
+            buckets=SIZE_BUCKETS)
+        self._group_kernel_seconds = self.metrics.histogram(
+            "engine.group_kernel_seconds",
+            "kernel time per served group / fused sweep")
         self._buffers: Dict[int, MaskBuffer] = {}
         self._matrices: Dict[int, MaskMatrix] = {}
         self._seen_keys: set = set()
+
+    # ----------------------------------------------------- counter thin views
+    @property
+    def queries_served(self) -> int:
+        return self._queries_served.value
+
+    @property
+    def batches_planned(self) -> int:
+        return self._batches_planned.value
+
+    @property
+    def groups_executed(self) -> int:
+        return self._groups_executed.value
+
+    @property
+    def kernel_calls(self) -> int:
+        return self._kernel_calls.value
+
+    @property
+    def fused_sweeps(self) -> int:
+        return self._fused_sweeps.value
+
+    @property
+    def audits(self) -> int:
+        return self._audits.value
+
+    @property
+    def audit_kernel_calls(self) -> int:
+        return self._audit_kernel_calls.value
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._busy_seconds.value
 
     # ------------------------------------------------------------- internals
     def _buffer_for(self, csr: CSRGraph) -> MaskBuffer:
@@ -219,9 +281,11 @@ class QueryEngine:
                       target_indices: List) -> List[float]:
         """Early-exit kernel run for the group; ``None`` targets answer inf."""
         known = [t for t in target_indices if t is not None]
+        started = time.perf_counter()
         distances = multi_target_group(csr, self._buffer_for(csr), source_index,
                                        canonical, known, self.kernel)
-        self.kernel_calls += 1
+        self._group_kernel_seconds.observe(time.perf_counter() - started)
+        self._kernel_calls.inc()
         answered = iter(distances)
         return [next(answered) if t is not None else _INF for t in target_indices]
 
@@ -234,7 +298,7 @@ class QueryEngine:
         ``tests/test_engine.py``), so the admission choice is purely about
         cost.
         """
-        self.groups_executed += 1
+        self._groups_executed.inc()
         index_of = csr.index_of
         source_index = index_of.get(source)
         if source_index is None:
@@ -254,9 +318,11 @@ class QueryEngine:
                 self._seen_keys.add(key)
                 return self._multi_target(csr, source_index, canonical,
                                           target_indices)
+            started = time.perf_counter()
             vector = sssp_group(csr, self._buffer_for(csr), source_index,
                                 canonical, self.kernel)
-            self.kernel_calls += 1
+            self._group_kernel_seconds.observe(time.perf_counter() - started)
+            self._kernel_calls.inc()
             self.cache.put(key, vector)
         return [vector[t] if t is not None else _INF for t in target_indices]
 
@@ -279,7 +345,7 @@ class QueryEngine:
         multi_pending: List[Tuple[BatchGroup, int, List]] = []
         sssp_pending: List[Tuple[BatchGroup, int, List[float], List]] = []
         for group in plan.groups:
-            self.groups_executed += 1
+            self._groups_executed.inc()
             source_index = index_of.get(group.source)
             if source_index is None:
                 continue  # results already hold inf
@@ -295,7 +361,7 @@ class QueryEngine:
                     1 if key in self._seen_keys else 0)
                 if expected_reuse >= self.admit_threshold:
                     vector = []
-                    self.kernel_calls += 1
+                    self._kernel_calls.inc()
                     self.cache.put(key, vector)
                     sssp_pending.append(
                         (group, source_index, vector, target_indices))
@@ -303,10 +369,11 @@ class QueryEngine:
                 if len(self._seen_keys) > 16 * max(self.cache.capacity, 64):
                     self._seen_keys.clear()
                 self._seen_keys.add(key)
-            self.kernel_calls += 1
+            self._kernel_calls.inc()
             multi_pending.append((group, source_index, target_indices))
 
         if sssp_pending:
+            started = time.perf_counter()
             if len(sssp_pending) == 1:
                 group, source_index, vector, _ = sssp_pending[0]
                 vector[:] = sssp_group(csr, self._buffer_for(csr),
@@ -316,14 +383,16 @@ class QueryEngine:
                     [group.faults for group, _, _, _ in sssp_pending])
                 rows = kernels.multi_source_sssp(
                     csr, [si for _, si, _, _ in sssp_pending], vm, em)
-                self.fused_sweeps += 1
+                self._fused_sweeps.inc()
                 for (_, _, vector, _), row in zip(sssp_pending, rows):
                     vector[:] = row
+            self._group_kernel_seconds.observe(time.perf_counter() - started)
             for group, _, vector, target_indices in sssp_pending:
                 for position, t in zip(group.positions, target_indices):
                     results[position] = vector[t] if t is not None else _INF
 
         if multi_pending:
+            started = time.perf_counter()
             known_lists = [[t for t in tis if t is not None]
                            for _, _, tis in multi_pending]
             if len(multi_pending) == 1:
@@ -336,7 +405,8 @@ class QueryEngine:
                     [group.faults for group, _, _ in multi_pending])
                 answers = kernels.multi_source_multi_target(
                     csr, [si for _, si, _ in multi_pending], known_lists, vm, em)
-                self.fused_sweeps += 1
+                self._fused_sweeps.inc()
+            self._group_kernel_seconds.observe(time.perf_counter() - started)
             for (group, _, target_indices), row in zip(multi_pending, answers):
                 answered = iter(row)
                 for position, t in zip(group.positions, target_indices):
@@ -357,25 +427,29 @@ class QueryEngine:
         list is aligned with ``queries``.
         """
         started = time.perf_counter()
-        try:
-            plan = plan_batches(queries, self.model)
-            self.batches_planned += 1
-            self.queries_served += plan.num_queries
-            self.cache.sync(self.snapshot.spanner.version)
-            csr = self.snapshot.csr
-            results: List[float] = [_INF] * plan.num_queries
-            if (plan.num_groups > 1
-                    and self.kernel.resolve(csr).multi_source_sssp is not None):
-                self._serve_plan_fused(csr, plan, results)
+        with get_tracer().span("engine.distances_batch",
+                               queries=len(queries)) as span:
+            try:
+                plan = plan_batches(queries, self.model)
+                self._batches_planned.inc()
+                self._queries_served.inc(plan.num_queries)
+                self._batch_occupancy.observe(plan.num_queries)
+                span.set(groups=plan.num_groups)
+                self.cache.sync(self.snapshot.spanner.version)
+                csr = self.snapshot.csr
+                results: List[float] = [_INF] * plan.num_queries
+                if (plan.num_groups > 1
+                        and self.kernel.resolve(csr).multi_source_sssp is not None):
+                    self._serve_plan_fused(csr, plan, results)
+                    return results
+                for group in plan.groups:
+                    answers = self._serve_group(csr, group.source, group.faults,
+                                                group.targets)
+                    for position, answer in zip(group.positions, answers):
+                        results[position] = answer
                 return results
-            for group in plan.groups:
-                answers = self._serve_group(csr, group.source, group.faults,
-                                            group.targets)
-                for position, answer in zip(group.positions, answers):
-                    results[position] = answer
-            return results
-        finally:
-            self.busy_seconds += time.perf_counter() - started
+            finally:
+                self._busy_seconds.inc(time.perf_counter() - started)
 
     def connectivity(self, source: Node, target: Node,
                      faults: Iterable = ()) -> bool:
@@ -402,7 +476,7 @@ class QueryEngine:
         spanner_distance = self.distance(source, target, faults)
         started = time.perf_counter()
         try:
-            self.audits += 1
+            self._audits.inc()
             index_of = original_csr.index_of
             source_index = index_of.get(source)
             target_index = index_of.get(target)
@@ -415,9 +489,9 @@ class QueryEngine:
                 # Counted apart from kernel_calls: audits are ground-truth
                 # lookups, not serving work, and must not skew the
                 # batching-savings accounting below.
-                self.audit_kernel_calls += 1
+                self._audit_kernel_calls.inc()
         finally:
-            self.busy_seconds += time.perf_counter() - started
+            self._busy_seconds.inc(time.perf_counter() - started)
         return StretchAudit(
             source=source,
             target=target,
@@ -459,15 +533,17 @@ class QueryEngine:
                                     fault_model=self.model.name,
                                     kernel=self.kernel.name)
             distance_pairs: List[Tuple[float, float]] = []
-            for chunk_results, spanner_calls, original_calls in self.backend.map(
+            # metrics=get_registry(): worker-side module counters (kernel
+            # dispatch) fold into the process registry, while the explicit
+            # per-chunk counts below land on the engine's own counters.
+            for chunk_results, counters in self.backend.map(
                     _audit_chunk,
                     split_sequence(normalized, self.backend.workers),
-                    context=context):
-                self.kernel_calls += spanner_calls
-                self.audit_kernel_calls += original_calls
+                    context=context, metrics=get_registry()):
+                self.metrics.merge_counters(counters)
                 distance_pairs.extend(chunk_results)
-            self.queries_served += len(normalized)
-            self.audits += len(normalized)
+            self._queries_served.inc(len(normalized))
+            self._audits.inc(len(normalized))
             return [
                 StretchAudit(
                     source=source,
@@ -482,7 +558,7 @@ class QueryEngine:
                 in zip(normalized, distance_pairs)
             ]
         finally:
-            self.busy_seconds += time.perf_counter() - started
+            self._busy_seconds.inc(time.perf_counter() - started)
 
     # ----------------------------------------------------------------- stats
     def stats(self) -> Dict[str, Any]:

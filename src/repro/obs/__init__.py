@@ -1,0 +1,61 @@
+"""Observability: the metrics registry, span tracer, and exporters.
+
+The telemetry layer every subsystem reports through (see the README's
+"Telemetry and tracing" section):
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram`` with
+  labeled children on a thread-safe :class:`MetricsRegistry`; components own
+  per-instance registries attached weakly to the process-wide default
+  (:func:`get_registry`), and :func:`merge_counters` is the one deterministic
+  fold for counters shipped back from worker processes and chunked sweeps.
+* :mod:`repro.obs.trace` — :class:`SpanTracer`: nested wall-time spans with
+  counter-delta attribution, written as JSONL (``--trace`` /
+  ``REPRO_TRACE``).
+* :mod:`repro.obs.export` — Prometheus text rendering (the future serving
+  daemon's ``/metrics`` body) and the ``--metrics-json`` / ``REPRO_METRICS``
+  document read by ``repro-spanner stats``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    component_registry,
+    get_registry,
+    merge_counters,
+    merge_snapshots,
+)
+from repro.obs.trace import TRACE_ENV_VAR, SpanTracer, get_tracer, load_spans, span_tree
+from repro.obs.export import (
+    METRICS_ENV_VAR,
+    METRICS_SCHEMA,
+    load_metrics_json,
+    metrics_document,
+    render_metrics_table,
+    render_prometheus,
+    write_metrics_json,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanTracer",
+    "TRACE_ENV_VAR",
+    "METRICS_ENV_VAR",
+    "METRICS_SCHEMA",
+    "component_registry",
+    "get_registry",
+    "get_tracer",
+    "load_metrics_json",
+    "load_spans",
+    "merge_counters",
+    "merge_snapshots",
+    "metrics_document",
+    "render_metrics_table",
+    "render_prometheus",
+    "span_tree",
+    "write_metrics_json",
+]

@@ -1,0 +1,167 @@
+"""Render metric snapshots: Prometheus text format, tables, and JSON files.
+
+The input everywhere is the plain-dict snapshot of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`.  Three renderings:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` + samples).  Dotted metric names become
+  underscore families under the ``repro_`` prefix
+  (``engine.kernel_calls`` → ``repro_engine_kernel_calls``).  This is the
+  body the future serving daemon will return from ``/metrics``.
+* :func:`render_metrics_table` — a human table for ``repro-spanner stats``.
+* :func:`write_metrics_json` / :func:`load_metrics_json` — the schema-stable
+  JSON document written by ``--metrics-json`` / ``REPRO_METRICS`` and read
+  back by ``repro-spanner stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, _parse_flat_name
+from repro.utils.tables import Table
+
+__all__ = [
+    "METRICS_ENV_VAR",
+    "METRICS_SCHEMA",
+    "load_metrics_json",
+    "metrics_document",
+    "prometheus_name",
+    "render_metrics_table",
+    "render_prometheus",
+    "write_metrics_json",
+]
+
+#: Environment variable the CLI consults for a metrics-JSON output path.
+METRICS_ENV_VAR = "REPRO_METRICS"
+
+#: Schema tag stamped into (and required from) metrics JSON documents.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: Prefix of every exported Prometheus family.
+_PREFIX = "repro_"
+
+
+def prometheus_name(name: str) -> str:
+    """Map a dotted metric name onto a Prometheus family name."""
+    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    return _PREFIX + cleaned
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _labels_suffix(labels: Optional[Mapping[str, str]],
+                   extra: Optional[Mapping[str, str]] = None) -> str:
+    merged: Dict[str, str] = dict(labels or {})
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{key}="{merged[key]}"' for key in sorted(merged))
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """The Prometheus text exposition of one snapshot document."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        family = prometheus_name(name)
+        help_text = entry.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {entry['kind']}")
+        if entry["kind"] == "histogram":
+            _render_histogram(lines, family, None, entry)
+            for key, child in sorted(entry.get("children", {}).items()):
+                _, labels = _parse_flat_name("_{" + key + "}")
+                _render_histogram(lines, family, labels, child)
+        else:
+            lines.append(f"{family} {_format_value(entry['value'])}")
+            for key, value in sorted(entry.get("children", {}).items()):
+                _, labels = _parse_flat_name("_{" + key + "}")
+                lines.append(f"{family}{_labels_suffix(labels)} "
+                             f"{_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_histogram(lines: List[str], family: str,
+                      labels: Optional[Mapping[str, str]],
+                      entry: Mapping[str, Any]) -> None:
+    for le, cumulative in entry["buckets"]:
+        shown = le if le == "+Inf" else _format_value(float(le))
+        suffix = _labels_suffix(labels, {"le": shown})
+        lines.append(f"{family}_bucket{suffix} {cumulative}")
+    lines.append(f"{family}_sum{_labels_suffix(labels)} "
+                 f"{_format_value(entry['sum'])}")
+    lines.append(f"{family}_count{_labels_suffix(labels)} {entry['count']}")
+
+
+def render_metrics_table(snapshot: Mapping[str, Any]) -> Table:
+    """Flat name/kind/value table of a snapshot (histograms as count/mean)."""
+    table = Table(columns=["metric", "kind", "value"], title="metrics")
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if entry["kind"] == "histogram":
+            mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+            value = f"count={entry['count']} mean={mean:.6g}"
+        else:
+            value = entry["value"]
+        table.add_row(metric=name, kind=entry["kind"], value=value)
+        for key, child in sorted(entry.get("children", {}).items()):
+            if entry["kind"] == "histogram":
+                mean = child["sum"] / child["count"] if child["count"] else 0.0
+                value = f"count={child['count']} mean={mean:.6g}"
+            else:
+                value = child
+            table.add_row(metric=f"{name}{{{key}}}", kind=entry["kind"],
+                          value=value)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# The metrics JSON document (``--metrics-json`` / ``REPRO_METRICS``)
+# ---------------------------------------------------------------------------
+
+def metrics_document(source: Union[MetricsRegistry, Mapping[str, Any]],
+                     *, meta: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    """Wrap a snapshot (or a registry, snapshotted now) with the schema tag."""
+    snapshot = (source.snapshot() if isinstance(source, MetricsRegistry)
+                else dict(source))
+    document: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        "generated_unix": time.time(),
+        "metrics": snapshot,
+    }
+    if meta:
+        document["meta"] = dict(meta)
+    return document
+
+
+def write_metrics_json(path: str,
+                       source: Union[MetricsRegistry, Mapping[str, Any]],
+                       *, meta: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    """Write the metrics JSON document for ``source`` to ``path``."""
+    document = metrics_document(source, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
+def load_metrics_json(path: str) -> Dict[str, Any]:
+    """Read a metrics JSON document back, validating the schema tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {METRICS_SCHEMA} document (write one with "
+            f"--metrics-json or the {METRICS_ENV_VAR} environment variable)")
+    return document

@@ -1,0 +1,216 @@
+"""Span tracing: nested wall-time spans with counter-delta attribution.
+
+A :class:`SpanTracer` writes one JSON line per *finished* span to a JSONL
+sink.  Spans nest through a stack — a span opened while another is active
+records that span as its parent — so a trace of ``repro-spanner build``
+shows the ``verify`` phase inside the session, and the kernel work counters
+that moved while each phase ran.
+
+Schema (stable; one object per line, children appear before their parents
+because lines are written at span *exit*)::
+
+    {"name": str, "span_id": int, "parent_id": int | null,
+     "start_unix": float, "seconds": float,
+     "attrs": {...}, "counters": {flat_counter_name: moved_amount}}
+
+``counters`` is the movement of the process registry's flat counter view
+(:meth:`~repro.obs.metrics.MetricsRegistry.counters` including component
+sources) between span start and end — attribution, not exclusivity: a parent
+span's delta includes its children's.
+
+Cost model: a disabled tracer hands out one shared no-op context manager, so
+instrumented-but-idle code pays a single method call per span site.  An
+enabled tracer pays two flat counter snapshots per span; spans therefore
+wrap *phases and batches*, never per-query work.
+
+Enable with ``repro-spanner ... --trace out.jsonl`` or ``REPRO_TRACE=out.jsonl``
+(the CLI honours the environment variable; library users call
+``get_tracer().configure(path)`` themselves).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "SpanTracer",
+    "TRACE_ENV_VAR",
+    "get_tracer",
+    "load_spans",
+    "span_tree",
+]
+
+#: Environment variable the CLI consults for a trace sink path.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+class _NullSpan:
+    """Shared no-op span: the entire cost of tracing while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        """Attribute updates are dropped (no span is being recorded)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span: entered → pushed on the stack, exited → one JSONL line."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "_start_unix", "_start_perf", "_counters_before")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self._start_unix = 0.0
+        self._start_perf = 0.0
+        self._counters_before: Dict[str, float] = {}
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or update span attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self.tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.tracer._exit(self)
+        return None
+
+
+class SpanTracer:
+    """Nested span recorder writing JSONL; disabled until configured.
+
+    Parameters
+    ----------
+    registry:
+        The registry whose flat counter view spans attribute their work
+        against; defaults to the process registry at configure time.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self._registry = registry
+        self._sink: Optional[TextIO] = None
+        self._owns_sink = False
+        self._lock = threading.Lock()
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def enabled(self) -> bool:
+        return self._sink is not None
+
+    def configure(self, sink: Union[str, TextIO], *,
+                  registry: Optional[MetricsRegistry] = None) -> "SpanTracer":
+        """Start writing spans to ``sink`` (a path, opened append, or a file)."""
+        self.close()
+        if registry is not None:
+            self._registry = registry
+        if isinstance(sink, str):
+            self._sink = open(sink, "a", encoding="utf-8")
+            self._owns_sink = True
+        else:
+            self._sink = sink
+            self._owns_sink = False
+        return self
+
+    def close(self) -> None:
+        """Stop tracing and close an owned sink (idempotent)."""
+        sink, owned = self._sink, self._owns_sink
+        self._sink = None
+        self._owns_sink = False
+        self._stack.clear()
+        if sink is not None and owned:
+            sink.close()
+
+    # ----------------------------------------------------------------- spans
+    def span(self, name: str, **attrs: Any):
+        """A context manager recording one span (no-op while disabled)."""
+        if self._sink is None:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def _enter(self, span: _Span) -> None:
+        registry = self._registry if self._registry is not None else get_registry()
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+            span.parent_id = self._stack[-1] if self._stack else None
+            self._stack.append(span.span_id)
+        span._counters_before = registry.counters(include_sources=True)
+        span._start_unix = time.time()
+        span._start_perf = time.perf_counter()
+
+    def _exit(self, span: _Span) -> None:
+        seconds = time.perf_counter() - span._start_perf
+        registry = self._registry if self._registry is not None else get_registry()
+        counters = registry.counters_delta(span._counters_before,
+                                           include_sources=True)
+        record = {
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start_unix": span._start_unix,
+            "seconds": seconds,
+            "attrs": span.attrs,
+            "counters": counters,
+        }
+        with self._lock:
+            # Exits may interleave oddly under exceptions; remove rather
+            # than pop so a missed exit cannot corrupt later parentage.
+            if span.span_id in self._stack:
+                self._stack.remove(span.span_id)
+            sink = self._sink
+            if sink is not None:
+                sink.write(json.dumps(record) + "\n")
+                sink.flush()
+
+
+# ---------------------------------------------------------------------------
+# Reading traces back (tests, smoke checks, tooling)
+# ---------------------------------------------------------------------------
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file into span records (file order = exit order)."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def span_tree(spans: List[Dict[str, Any]]) -> Dict[Optional[int], List[Dict[str, Any]]]:
+    """Group spans by ``parent_id`` (``None`` keys the roots)."""
+    tree: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for span in spans:
+        tree.setdefault(span["parent_id"], []).append(span)
+    return tree
+
+
+_DEFAULT_TRACER = SpanTracer()
+
+
+def get_tracer() -> SpanTracer:
+    """The process-wide default tracer (disabled until configured)."""
+    return _DEFAULT_TRACER

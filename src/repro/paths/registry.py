@@ -21,6 +21,11 @@ snapshots with at least :data:`AUTO_NODE_THRESHOLD` nodes (where the array
 sweep wins decisively) and ``loop`` below it (where Python loop overhead is
 lower than numpy's per-call setup).  ``REPRO_KERNEL`` in the environment
 overrides the default; an explicit ``kernel=`` argument beats both.
+
+Every :meth:`KernelBackend.resolve` call counts one selection on the
+process metrics registry (``kernels.dispatch{backend="loop"|"numpy"}``), so
+``repro-spanner stats`` shows which implementation actually served a run —
+in particular how often the ``auto`` gate went each way.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.graph.csr import CSRGraph
+from repro.obs.metrics import Counter, get_registry
 from repro.paths import kernels as _loop
 
 #: Node count at which the ``auto`` backend switches from loop to numpy
@@ -38,6 +44,19 @@ AUTO_NODE_THRESHOLD = 100_000
 
 #: Environment variable consulted when no explicit kernel is requested.
 KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+_DISPATCH = get_registry().counter(
+    "kernels.dispatch", "kernel backend selections, by resolved backend")
+_DISPATCH_CHILDREN: Dict[str, Counter] = {}
+
+
+def _count_dispatch(name: str) -> None:
+    # resolve() runs on per-call hot paths; cache the labeled children so a
+    # selection costs one dict probe and one counter bump.
+    child = _DISPATCH_CHILDREN.get(name)
+    if child is None:
+        child = _DISPATCH_CHILDREN[name] = _DISPATCH.labels(backend=name)
+    child.inc()
 
 
 @dataclass(frozen=True)
@@ -64,6 +83,7 @@ class KernelBackend:
 
     def resolve(self, csr: CSRGraph) -> "KernelBackend":
         """The concrete backend serving ``csr`` (identity for real backends)."""
+        _count_dispatch(self.name)
         return self
 
 
@@ -73,8 +93,11 @@ class _AutoKernelBackend(KernelBackend):
     def resolve(self, csr: CSRGraph) -> KernelBackend:
         if ("numpy" in _REGISTRY
                 and csr.num_nodes >= AUTO_NODE_THRESHOLD):
-            return _REGISTRY["numpy"]
-        return _REGISTRY["loop"]
+            chosen = _REGISTRY["numpy"]
+        else:
+            chosen = _REGISTRY["loop"]
+        _count_dispatch(chosen.name)
+        return chosen
 
 
 KernelLike = Union[None, str, KernelBackend]

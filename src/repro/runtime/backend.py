@@ -19,6 +19,16 @@ results come back in chunk-submission order regardless of which worker
 finished first, which is what lets consumers merge verdicts, witnesses, and
 counters deterministically — and closing the iterator early (e.g. breaking
 on the first refutation) cancels the outstanding chunks.
+
+Metric capture: passing ``metrics=<registry>`` to :meth:`imap`/:meth:`map`
+ships each chunk's movement of the *worker process's* default metrics
+registry back with its result and folds it into the given registry (in
+submission order, through :func:`repro.obs.merge_counters`).  Chunks the
+consumer never pulls — speculative work past an early generator close —
+contribute nothing, so captured counters obey the same "serial prefix" rule
+as :func:`repro.runtime.merge.merge_verdicts` and parallel runs report the
+same counters as serial ones.  The serial backend ignores ``metrics``: its
+chunks run in-process, so their increments already land where they belong.
 """
 
 from __future__ import annotations
@@ -27,6 +37,8 @@ import multiprocessing
 import os
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, get_registry, merge_counters
 
 #: Per-worker slot for the shipped context (set by the pool initializer).
 _WORKER_CONTEXT: Any = None
@@ -44,6 +56,20 @@ def _worker_call(payload):
     return fn(_WORKER_CONTEXT, chunk)
 
 
+def _worker_call_metered(payload):
+    """Run one chunk task, also capturing the worker's counter movement.
+
+    The before-snapshot is taken per chunk (not per worker), so the shipped
+    delta is exactly this chunk's contribution no matter how chunks are
+    spread over pool workers or what the forked registry inherited.
+    """
+    fn, chunk = payload
+    registry = get_registry()
+    before = registry.counters(include_sources=True)
+    result = fn(_WORKER_CONTEXT, chunk)
+    return result, registry.counters_delta(before, include_sources=True)
+
+
 class ExecutionBackend(ABC):
     """How sharded work gets executed (serially or across workers)."""
 
@@ -54,18 +80,25 @@ class ExecutionBackend(ABC):
 
     @abstractmethod
     def imap(self, fn: Callable[[Any, Any], Any], chunks: Iterable,
-             *, context: Any = None) -> Iterator:
+             *, context: Any = None,
+             metrics: Optional[MetricsRegistry] = None) -> Iterator:
         """Lazily yield ``fn(context, chunk)`` for each chunk, in order.
 
         The returned iterator is a generator: consumers that stop early must
         ``close()`` it (or exhaust it) so pooled backends can cancel the
         outstanding chunks — the idiom is ``try: ... finally: it.close()``.
+
+        ``metrics`` asks pooled backends to capture each chunk's worker-side
+        counter movement and fold it into the given registry as the chunk's
+        result is yielded (see the module docstring); serial backends ignore
+        it.
         """
 
     def map(self, fn: Callable[[Any, Any], Any], chunks: Iterable,
-            *, context: Any = None) -> List:
+            *, context: Any = None,
+            metrics: Optional[MetricsRegistry] = None) -> List:
         """Eager form of :meth:`imap` (all chunks, results in order)."""
-        return list(self.imap(fn, chunks, context=context))
+        return list(self.imap(fn, chunks, context=context, metrics=metrics))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} workers={self.workers}>"
@@ -77,7 +110,9 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
     workers = 1
 
-    def imap(self, fn, chunks, *, context=None):
+    def imap(self, fn, chunks, *, context=None, metrics=None):
+        # ``metrics`` is deliberately unused: in-process chunks increment
+        # the live registries directly, so capture would double-count.
         for chunk in chunks:
             yield fn(context, chunk)
 
@@ -106,7 +141,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self.workers = workers
         self._start_method = start_method
 
-    def imap(self, fn, chunks, *, context=None):
+    def imap(self, fn, chunks, *, context=None, metrics=None):
         mp = (multiprocessing.get_context(self._start_method)
               if self._start_method else multiprocessing)
         pool = mp.Pool(self.workers, initializer=_worker_init,
@@ -116,8 +151,18 @@ class ProcessPoolBackend(ExecutionBackend):
             # the completion order, so merges stay deterministic.  Chunk
             # payloads already carry a worker-sized amount of work, so the
             # pool-level chunksize stays 1.
-            yield from pool.imap(_worker_call,
-                                 ((fn, chunk) for chunk in chunks))
+            if metrics is None:
+                yield from pool.imap(_worker_call,
+                                     ((fn, chunk) for chunk in chunks))
+            else:
+                for result, delta in pool.imap(
+                        _worker_call_metered,
+                        ((fn, chunk) for chunk in chunks)):
+                    # Fold before yielding: a consumer that closes the
+                    # generator after this chunk still gets its counters,
+                    # while never-consumed speculative chunks ship nothing.
+                    merge_counters(metrics, delta)
+                    yield result
         finally:
             # Reached on exhaustion *and* on early generator close: breaking
             # out of the consuming loop cancels all outstanding chunks.

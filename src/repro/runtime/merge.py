@@ -19,12 +19,25 @@ chunks would have computed:
 
 Both consume lazily and close their iterator, so pooled backends cancel
 outstanding chunks the moment the merge decides.
+
+:func:`merge_counters` (re-exported from :mod:`repro.obs.metrics`) is the
+third member of the toolkit: the one deterministic fold for flat counter
+mappings shipped back from chunks — worker metric deltas, speculative-batch
+oracle counts, pooled audit counts — into either a plain dict or a metrics
+registry.  Counters folded through it obey the same serial-prefix rule as
+the verdict merge, because consumers fold in submission order and discard
+chunks past an early stop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Tuple
+
+from repro.obs.metrics import merge_counters
+
+__all__ = ["ChunkArgmax", "ChunkVerdict", "merge_argmax", "merge_counters",
+           "merge_verdicts"]
 
 
 @dataclass(frozen=True)

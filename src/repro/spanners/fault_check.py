@@ -50,24 +50,59 @@ from repro.faults.models import FaultModel, FaultSet, get_fault_model
 from repro.graph.core import Graph, Node, edge_key
 from repro.graph.csr import CSRGraph, csr_snapshot
 from repro.graph.views import ExclusionView
+from repro.obs.metrics import MetricsRegistry, component_registry
 from repro.paths.dijkstra import bounded_distance, bounded_path
 from repro.paths.registry import KernelLike, get_kernels
 
 
 class OracleStats:
-    """Mutable counters shared between an oracle and the greedy driver."""
+    """Oracle work counters shared between an oracle and the greedy driver.
 
-    __slots__ = ("queries", "distance_queries", "nodes_expanded")
+    The counters live on a per-oracle metrics registry (``oracle.*`` family,
+    attached to the process default — see :mod:`repro.obs`), so oracle work
+    shows up in ``repro-spanner stats`` and span traces.  Reads keep the
+    historical attribute names (``queries``, ``distance_queries``,
+    ``nodes_expanded``); writes go through the ``count_*`` methods.
+    ``reset()`` zeroes this oracle's counters only — the greedy driver calls
+    it at build start so finished builds report per-build work.
+    """
 
-    def __init__(self) -> None:
-        self.queries = 0
-        self.distance_queries = 0
-        self.nodes_expanded = 0
+    __slots__ = ("metrics", "_queries", "_distance_queries", "_nodes_expanded")
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = (metrics if metrics is not None
+                        else component_registry("oracle"))
+        self._queries = self.metrics.counter(
+            "oracle.queries", "fault-check oracle calls")
+        self._distance_queries = self.metrics.counter(
+            "oracle.distance_queries",
+            "bounded distance queries issued by oracles")
+        self._nodes_expanded = self.metrics.counter(
+            "oracle.nodes_expanded", "branch-and-bound search tree nodes")
+
+    @property
+    def queries(self) -> int:
+        return self._queries.value
+
+    @property
+    def distance_queries(self) -> int:
+        return self._distance_queries.value
+
+    @property
+    def nodes_expanded(self) -> int:
+        return self._nodes_expanded.value
+
+    def count_query(self) -> None:
+        self._queries.inc()
+
+    def count_distance_query(self) -> None:
+        self._distance_queries.inc()
+
+    def count_nodes_expanded(self) -> None:
+        self._nodes_expanded.inc()
 
     def reset(self) -> None:
-        self.queries = 0
-        self.distance_queries = 0
-        self.nodes_expanded = 0
+        self.metrics.reset()
 
 
 def candidate_elements_csr(model: FaultModel, csr: CSRGraph, source: Node,
@@ -136,7 +171,7 @@ class FaultCheckOracle(ABC):
     def _distance_exceeds(self, graph, source: Node, target: Node,
                           budget: float) -> bool:
         """Whether the (possibly faulted view) distance already exceeds the budget."""
-        self.stats.distance_queries += 1
+        self.stats.count_distance_query()
         return bounded_distance(graph, source, target, budget) > budget
 
     def __repr__(self) -> str:
@@ -165,7 +200,7 @@ class ExhaustiveOracle(FaultCheckOracle):
             return self.find_breaking_fault_set_csr(
                 csr_snapshot(graph), source, target, budget, max_faults,
                 model, candidates=elements)
-        self.stats.queries += 1
+        self.stats.count_query()
         for faults in enumerate_fault_sets(elements, max_faults):
             view = model.apply(graph, faults)
             if self._distance_exceeds(view, source, target, budget):
@@ -178,7 +213,7 @@ class ExhaustiveOracle(FaultCheckOracle):
                                     fault_model: "str | FaultModel",
                                     candidates: Optional[List] = None) -> Optional[FaultSet]:
         model = get_fault_model(fault_model)
-        self.stats.queries += 1
+        self.stats.count_query()
         elements = (candidates if candidates is not None
                     else candidate_elements_csr(model, csr, source, target))
         s = csr.index_of.get(source)
@@ -190,7 +225,7 @@ class ExhaustiveOracle(FaultCheckOracle):
             indices = model.mask_indices(csr, faults)
             for index in indices:
                 mask[index] = 1
-            self.stats.distance_queries += 1
+            self.stats.count_distance_query()
             if s is None or t is None:
                 exceeded = True
             else:
@@ -229,7 +264,7 @@ class BranchAndBoundOracle(FaultCheckOracle):
         if isinstance(graph, Graph):
             return self.find_breaking_fault_set_csr(
                 csr_snapshot(graph), source, target, budget, max_faults, model)
-        self.stats.queries += 1
+        self.stats.count_query()
         found = self._search(graph, source, target, budget, max_faults, model, [])
         return model.canonical(found) if found is not None else None
 
@@ -241,7 +276,7 @@ class BranchAndBoundOracle(FaultCheckOracle):
         # ``candidates`` is ignored: the branching elements come from the
         # witness paths themselves, never from a global enumeration.
         model = get_fault_model(fault_model)
-        self.stats.queries += 1
+        self.stats.count_query()
         mask = model.new_mask(csr)
         found = self._search_csr(
             csr, source, target,
@@ -255,8 +290,8 @@ class BranchAndBoundOracle(FaultCheckOracle):
                     remaining: int, model: FaultModel,
                     current: List, mask: bytearray) -> Optional[List]:
         """Mask-based twin of :meth:`_search`: branch = one byte write."""
-        self.stats.nodes_expanded += 1
-        self.stats.distance_queries += 1
+        self.stats.count_nodes_expanded()
+        self.stats.count_distance_query()
         if s is None or t is None:
             return list(current)
         vertex_mask, edge_mask = model.kernel_masks(mask)
@@ -283,9 +318,9 @@ class BranchAndBoundOracle(FaultCheckOracle):
     def _search(self, graph, source: Node, target: Node, budget: float,
                 remaining: int, model: FaultModel,
                 current: List) -> Optional[List]:
-        self.stats.nodes_expanded += 1
+        self.stats.count_nodes_expanded()
         view = model.apply(graph, current) if current else graph
-        self.stats.distance_queries += 1
+        self.stats.count_distance_query()
         distance, path = bounded_path(view, source, target, budget)
         if distance > budget:
             return list(current)
@@ -335,11 +370,11 @@ class GreedyPathPackingOracle(FaultCheckOracle):
         if isinstance(graph, Graph):
             return self.find_breaking_fault_set_csr(
                 csr_snapshot(graph), source, target, budget, max_faults, model)
-        self.stats.queries += 1
+        self.stats.count_query()
         chosen: List = []
         for _ in range(max_faults + 1):
             view = model.apply(graph, chosen) if chosen else graph
-            self.stats.distance_queries += 1
+            self.stats.count_distance_query()
             distance, path = bounded_path(view, source, target, budget)
             if distance > budget:
                 return model.canonical(chosen)
@@ -360,7 +395,7 @@ class GreedyPathPackingOracle(FaultCheckOracle):
                                     candidates: Optional[List] = None) -> Optional[FaultSet]:
         """Mask-based twin of the view loop above (``candidates`` ignored)."""
         model = get_fault_model(fault_model)
-        self.stats.queries += 1
+        self.stats.count_query()
         s = csr.index_of.get(source)
         t = csr.index_of.get(target)
         mask = model.new_mask(csr)
@@ -368,7 +403,7 @@ class GreedyPathPackingOracle(FaultCheckOracle):
         node_of = csr.node_of
         chosen: List = []
         for _ in range(max_faults + 1):
-            self.stats.distance_queries += 1
+            self.stats.count_distance_query()
             if s is None or t is None:
                 return model.canonical(chosen)
             distance, index_path = self.kernels.resolve(csr).bounded_dijkstra_path_csr(

@@ -53,7 +53,10 @@ from typing import Callable, List, Optional, Tuple
 from repro.faults.models import FaultModel, FaultSet, get_fault_model
 from repro.graph.core import Graph, Node, edge_key
 from repro.graph.csr import CSRGraph, csr_snapshot
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.runtime.backend import BackendLike, ExecutionBackend, get_backend
+from repro.runtime.merge import merge_counters
 from repro.runtime.shard import split_sequence
 from repro.spanners.base import SpannerResult
 from repro.spanners.fault_check import FaultCheckOracle, get_oracle
@@ -71,6 +74,19 @@ _BATCH_MIN = 16
 #: gets fine granularity, the reject-dominated tail gets huge batches), so
 #: the number of pool dispatches is O(log m) rather than O(m / batch).
 _BATCH_GROWTH = 2
+
+# Build-outcome counters on the process registry (``repro-spanner stats``):
+# accept/reject tallies cover serial and parallel drivers alike, the
+# speculative pair only moves under ``workers > 1``.
+_ACCEPTS = get_registry().counter(
+    "build.oracle_accepts", "greedy decisions that kept the edge")
+_REJECTS = get_registry().counter(
+    "build.oracle_rejects", "greedy decisions that dropped the edge")
+_SPECULATIVE_BATCHES = get_registry().counter(
+    "build.speculative_batches", "parallel speculative batches dispatched")
+_SPECULATIVE_RECHECKS = get_registry().counter(
+    "build.speculative_rechecks",
+    "stale speculative accepts replayed in process")
 
 
 def ft_greedy_spanner(graph: Graph, stretch: float, max_faults: int,
@@ -204,9 +220,12 @@ def _ft_greedy(graph: Graph, stretch: float, max_faults: int,
             spanner, u, v, budget, max_faults, model
         )
         if fault_set is not None:
+            _ACCEPTS.inc()
             spanner.add_edge(u, v, w)
             if record_witnesses:
                 witnesses[edge_key(u, v)] = fault_set
+        else:
+            _REJECTS.inc()
         if progress_every and considered % progress_every == 0:
             _LOGGER.info(
                 "ft-greedy: %d/%d edges considered, %d kept",
@@ -271,7 +290,13 @@ def _ft_check_chunk(ctx: _FTCheckContext,
         found.append(checker.find_breaking_fault_set_csr(
             ctx.csr, source, target, budget, ctx.max_faults, model,
             candidates=candidates))
-    return found, checker.stats.queries, checker.stats.distance_queries
+    counters = {"oracle.queries": checker.stats.queries,
+                "oracle.distance_queries": checker.stats.distance_queries}
+    # Reset before returning so backend-level metric capture (which ships
+    # the worker registry's movement) can never count this work a second
+    # time: the explicit mapping above is the single source of truth.
+    checker.stats.reset()
+    return found, counters
 
 
 def _ft_greedy_parallel(graph: Graph, stretch: float, max_faults: int,
@@ -310,8 +335,9 @@ def _ft_greedy_parallel(graph: Graph, stretch: float, max_faults: int,
     considered = 0
     rechecks = 0
     batches = 0
-    worker_queries = 0
-    worker_distance_queries = 0
+    worker_counters: dict = {}
+    registry = get_registry()
+    tracer = get_tracer()
     ship_elements = checker.name == "exhaustive"
 
     position = 0
@@ -334,31 +360,42 @@ def _ft_greedy_parallel(graph: Graph, stretch: float, max_faults: int,
         )
         tasks = [(u, v, stretch * w) for u, v, w in batch]
         speculative: List[Optional[FaultSet]] = []
-        for chunk_found, queries, distance_queries in backend.map(
-                _ft_check_chunk, split_sequence(tasks, backend.workers),
-                context=context):
-            speculative.extend(chunk_found)
-            worker_queries += queries
-            worker_distance_queries += distance_queries
+        _SPECULATIVE_BATCHES.inc()
+        with tracer.span("build.speculative_batch", batch=batches,
+                         edges=len(batch)):
+            for chunk_found, counters in backend.map(
+                    _ft_check_chunk, split_sequence(tasks, backend.workers),
+                    context=context, metrics=registry):
+                speculative.extend(chunk_found)
+                # One fold, two targets: the local tally feeding the
+                # SpannerResult counters, and the process registry (the
+                # chunk fn zeroed its own copy, so this is the only path
+                # by which worker oracle counts reach the registry).
+                merge_counters(worker_counters, counters)
+                registry.merge_counters(counters)
 
-        for (u, v, w), fault_set in zip(batch, speculative):
-            considered += 1
-            if fault_set is None:
-                # Monotone-safe: no fault set broke (u, v) against the
-                # batch-start H, so none can break it against the current,
-                # denser H either — the serial loop would also reject.
-                continue
-            if spanner.version != h_version:
-                # H gained an edge earlier in this batch; the speculative
-                # answer is stale, so replay the serial decision exactly.
-                rechecks += 1
-                fault_set = checker.find_breaking_fault_set(
-                    spanner, u, v, stretch * w, max_faults, model)
+            for (u, v, w), fault_set in zip(batch, speculative):
+                considered += 1
                 if fault_set is None:
+                    # Monotone-safe: no fault set broke (u, v) against the
+                    # batch-start H, so none can break it against the current,
+                    # denser H either — the serial loop would also reject.
+                    _REJECTS.inc()
                     continue
-            spanner.add_edge(u, v, w)
-            if record_witnesses:
-                witnesses[edge_key(u, v)] = fault_set
+                if spanner.version != h_version:
+                    # H gained an edge earlier in this batch; the speculative
+                    # answer is stale, so replay the serial decision exactly.
+                    rechecks += 1
+                    _SPECULATIVE_RECHECKS.inc()
+                    fault_set = checker.find_breaking_fault_set(
+                        spanner, u, v, stretch * w, max_faults, model)
+                    if fault_set is None:
+                        _REJECTS.inc()
+                        continue
+                _ACCEPTS.inc()
+                spanner.add_edge(u, v, w)
+                if record_witnesses:
+                    witnesses[edge_key(u, v)] = fault_set
         if progress_every and (considered // progress_every
                                != (considered - len(batch)) // progress_every):
             _LOGGER.info(
@@ -381,8 +418,10 @@ def _ft_greedy_parallel(graph: Graph, stretch: float, max_faults: int,
         edges_added=spanner.number_of_edges(),
         # Counters report actual (speculative + recheck) work; unlike the
         # spanner and witnesses they are *not* byte-identical to serial.
-        oracle_queries=checker.stats.queries + worker_queries,
-        distance_queries=checker.stats.distance_queries + worker_distance_queries,
+        oracle_queries=(checker.stats.queries
+                        + int(worker_counters.get("oracle.queries", 0))),
+        distance_queries=(checker.stats.distance_queries
+                          + int(worker_counters.get("oracle.distance_queries", 0))),
         construction_seconds=timer.elapsed,
         parameters={"oracle": checker.name, "oracle_exact": checker.exact,
                     "workers": backend.workers, "backend": backend.name,

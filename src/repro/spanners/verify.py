@@ -32,6 +32,8 @@ from repro.faults.enumeration import count_fault_sets, enumerate_fault_sets, sam
 from repro.faults.models import FaultModel, FaultSet, get_fault_model
 from repro.graph.core import Graph, Node
 from repro.graph.csr import CSRGraph, csr_snapshot
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.paths.dijkstra import dijkstra_distances
 from repro.paths.registry import KernelLike, get_kernels
 from repro.runtime.backend import BackendLike, get_backend
@@ -43,6 +45,16 @@ from repro.runtime.shard import chunk_size_for, iter_chunks, split_sequence
 STRETCH_TOLERANCE = 1e-9
 
 _RELATIVE_TOLERANCE = STRETCH_TOLERANCE
+
+# Verification counters on the process registry.  ``fault_sets_checked``
+# counts the serial prefix (the merge rule above), so serial and parallel
+# runs report identical values — property-tested in ``tests/test_obs.py``.
+_VERIFY_RUNS = get_registry().counter(
+    "verify.runs", "is_ft_spanner verification runs")
+_VERIFY_CHECKED = get_registry().counter(
+    "verify.fault_sets_checked", "fault sets checked across verifications")
+_VERIFY_VIOLATIONS = get_registry().counter(
+    "verify.violations", "verifications that found a violating fault set")
 
 
 @dataclass(frozen=True)
@@ -106,7 +118,8 @@ def stretch_of(original: Graph, subgraph: Graph,
         worst = 1.0
         for chunk_worst in resolved.map(_sweep_chunk,
                                         split_sequence(sources, resolved.workers),
-                                        context=context):
+                                        context=context,
+                                        metrics=get_registry()):
             if chunk_worst > worst:
                 worst = chunk_worst
         return worst
@@ -248,30 +261,39 @@ def is_ft_spanner(original: Graph, subgraph: Graph, stretch: float, max_faults: 
 
     threshold = stretch * (1.0 + _RELATIVE_TOLERANCE)
 
-    if isinstance(original, Graph) and isinstance(subgraph, Graph):
-        resolved = get_backend(backend, workers)
-        context = _VerifyContext(csr_g=csr_snapshot(original),
-                                 csr_h=csr_snapshot(subgraph),
-                                 fault_model=model.name, threshold=threshold,
-                                 kernel=get_kernels(kernel).name)
-        chunks = iter_chunks(candidates, chunk_size_for(total, resolved.workers))
-        verdict = merge_verdicts(
-            resolved.imap(_verify_chunk, chunks, context=context))
-        worst, checked = verdict.worst, verdict.checked
-        violating = verdict.witness
-    else:
-        # Graph views have no CSR snapshot to ship; keep the plain scan.
-        worst = 1.0
-        checked = 0
-        violating = None
-        for faults in candidates:
-            checked += 1
-            value = stretch_under_faults(original, subgraph, model, faults)
-            if value > worst:
-                worst = value
-            if value > threshold:
-                violating = model.canonical(faults)
-                break
+    _VERIFY_RUNS.inc()
+    with get_tracer().span("verify.is_ft_spanner", method=method,
+                           max_faults=max_faults, workers=workers) as span:
+        if isinstance(original, Graph) and isinstance(subgraph, Graph):
+            resolved = get_backend(backend, workers)
+            context = _VerifyContext(csr_g=csr_snapshot(original),
+                                     csr_h=csr_snapshot(subgraph),
+                                     fault_model=model.name, threshold=threshold,
+                                     kernel=get_kernels(kernel).name)
+            chunks = iter_chunks(candidates,
+                                 chunk_size_for(total, resolved.workers))
+            verdict = merge_verdicts(
+                resolved.imap(_verify_chunk, chunks, context=context,
+                              metrics=get_registry()))
+            worst, checked = verdict.worst, verdict.checked
+            violating = verdict.witness
+        else:
+            # Graph views have no CSR snapshot to ship; keep the plain scan.
+            worst = 1.0
+            checked = 0
+            violating = None
+            for faults in candidates:
+                checked += 1
+                value = stretch_under_faults(original, subgraph, model, faults)
+                if value > worst:
+                    worst = value
+                if value > threshold:
+                    violating = model.canonical(faults)
+                    break
+        _VERIFY_CHECKED.inc(checked)
+        if violating is not None:
+            _VERIFY_VIOLATIONS.inc()
+        span.set(checked=checked, ok=violating is None)
 
     if violating is not None:
         return FTVerificationReport(

@@ -13,7 +13,7 @@ import them without cycles.  They encode the project-wide conventions:
 """
 
 from repro.utils.rng import RandomSource, derive_seed, ensure_rng
-from repro.utils.timing import Timer, timed
+from repro.utils.timing import Timer, best_of, time_call, timed
 from repro.utils.tables import Table, format_markdown_table, format_ascii_table
 from repro.utils.logging import get_logger
 
@@ -22,6 +22,8 @@ __all__ = [
     "derive_seed",
     "ensure_rng",
     "Timer",
+    "best_of",
+    "time_call",
     "timed",
     "Table",
     "format_markdown_table",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -35,12 +36,40 @@ class Timer:
     def stop(self) -> float:
         """Stop the stopwatch and return the duration of the last interval."""
         if self._start is None:
-            raise RuntimeError(f"Timer {self.label!r} is not running")
+            # Distinguish "stop before any start" (a harness wiring bug)
+            # from "stopped twice" — both name the offending timer.
+            if not self.laps:
+                raise RuntimeError(
+                    f"Timer {self.label!r} was never started; call start() "
+                    f"(or use measure()/timed()) before stop()")
+            raise RuntimeError(f"Timer {self.label!r} is not running "
+                               f"(already stopped)")
         lap = time.perf_counter() - self._start
         self._start = None
         self._accumulated += lap
         self.laps.append(lap)
         return lap
+
+    def timed(self, fn: Callable[..., T]) -> Callable[..., T]:
+        """Decorator: accumulate every call of ``fn`` onto this timer.
+
+        ``timer.laps`` then holds one entry per call, so harnesses get
+        per-call and total timings from a single decoration::
+
+            timer = Timer("rebuild")
+
+            @timer.timed
+            def rebuild(): ...
+        """
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            self.start()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.stop()
+        wrapper.timer = self
+        return wrapper
 
     @property
     def running(self) -> bool:
@@ -86,3 +115,18 @@ def time_call(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Minimum wall seconds of ``fn()`` over ``repeats`` runs.
+
+    The benchmark-harness convention: the best of several repeats is the
+    least noisy single-number summary of a deterministic workload.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    timer = Timer("best_of")
+    call = timer.timed(fn)
+    for _ in range(repeats):
+        call()
+    return min(timer.laps)

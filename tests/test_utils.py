@@ -8,7 +8,7 @@ import pytest
 from repro.utils.logging import configure_cli_logging, get_logger
 from repro.utils.rng import RandomSource, derive_seed, ensure_rng
 from repro.utils.tables import Table, format_ascii_table, format_markdown_table, summarize_series
-from repro.utils.timing import Timer, time_call, timed
+from repro.utils.timing import Timer, best_of, time_call, timed
 
 
 class TestRandomSource:
@@ -110,9 +110,48 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             timer.start()
 
-    def test_stop_without_start_raises(self):
-        with pytest.raises(RuntimeError):
-            Timer().stop()
+    def test_stop_without_start_raises_naming_the_timer(self):
+        with pytest.raises(RuntimeError, match="'phase-3'.*never started"):
+            Timer("phase-3").stop()
+
+    def test_double_stop_raises_distinct_message(self):
+        timer = Timer("lap").start()
+        timer.stop()
+        with pytest.raises(RuntimeError, match="'lap'.*already stopped"):
+            timer.stop()
+
+    def test_timed_decorator_accumulates_per_call(self):
+        timer = Timer("calls")
+
+        @timer.timed
+        def double(x):
+            return x * 2
+
+        assert [double(1), double(2), double(3)] == [2, 4, 6]
+        assert len(timer.laps) == 3
+        assert timer.elapsed == pytest.approx(sum(timer.laps))
+        assert double.timer is timer
+        assert double.__name__ == "double"
+
+    def test_timed_decorator_stops_on_exception(self):
+        timer = Timer("boom")
+
+        @timer.timed
+        def explode():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            explode()
+        assert not timer.running
+        assert len(timer.laps) == 1
+
+    def test_best_of_returns_minimum_lap(self):
+        seconds = best_of(lambda: None, repeats=4)
+        assert seconds >= 0.0
+
+    def test_best_of_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=0)
 
     def test_accumulates_over_laps(self):
         timer = Timer()
