@@ -1,0 +1,224 @@
+"""Construction-runtime benchmark: tiered oracle vs the exact branch-and-bound.
+
+FT-greedy construction asks one oracle question per candidate edge: *is there
+a fault set that breaks this pair?*  The exact :class:`BranchAndBoundOracle`
+answers every question with a full branch-and-bound search; the
+:class:`TieredOracle` (PR 8) first runs cheap sound screens — one shared root
+query with a warm same-source SSSP cache, witness replay, greedy
+disjoint-path packing — and only falls through to the exact search on the
+undecided margin.  Screens may reject early or accept with a certificate but
+never change a decision, so the two oracles build **byte-identical**
+spanners; this benchmark asserts that (same edges, same witness fault sets)
+before it reports any timing.
+
+The workload is a spine-leaf fabric: a leaf/spine mesh, a dense core of
+multi-homed hosts (high path redundancy, so most candidate edges are
+*rejected* — the regime where the exact search pays for a full recursion
+tree and the tiered screens pay ``f + 1`` sweeps), and a large population of
+singly-homed hosts that scale the node count to datacenter size.  The
+headline case is a >= 50k-node graph at ``k=7, f=3`` under edge faults.
+
+Running as a script records the comparison in ``BENCH_build.json`` at the
+repository root::
+
+    PYTHONPATH=src python benchmarks/bench_build.py [--quick]
+
+``--quick`` is the CI smoke configuration (a ~1.7k-edge fabric, tens of
+seconds); the full run builds the 50k-node fabric twice and takes minutes.
+The speedup assertion arms only when the exact baseline took at least
+``MIN_BASELINE_SECONDS`` (the recorded ``speedup_asserted`` field says
+whether the gate was live), because sub-50ms baselines time mostly
+interpreter noise.
+"""
+
+import argparse
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.graph.core import Graph
+from repro.spanners.ft_greedy import ft_greedy_spanner
+
+#: The tiered build must stay >= this much faster than the exact baseline.
+SPEEDUP_FLOOR = 3.0
+#: The CI smoke config is small enough that the ratio is noisier; it guards
+#: against "tiered stopped helping", not against constant-factor drift.
+QUICK_SPEEDUP_FLOOR = 2.0
+#: Don't assert a ratio of two timings when the baseline is interpreter noise.
+MIN_BASELINE_SECONDS = 0.05
+
+
+def spine_leaf(num_singles: int, num_core: int, num_leaves: int,
+               num_spines: int, homes: int) -> Graph:
+    """A spine-leaf fabric with a multi-homed core and singly-homed bulk.
+
+    Every leaf connects to every spine (the fabric mesh); ``num_core`` hosts
+    attach to ``homes`` consecutive leaves starting at a stride-7 offset
+    (deterministic, no RNG), and ``num_singles`` hosts attach to one leaf
+    each.  Uniform unit weights keep the candidate ordering dense in ties,
+    which is exactly where byte-identity between oracles is hardest to keep.
+    """
+    g = Graph()
+    for s in range(num_spines):
+        g.add_node(("spine", s))
+    for l in range(num_leaves):
+        g.add_node(("leaf", l))
+        for s in range(num_spines):
+            g.add_edge(("leaf", l), ("spine", s), 1.0)
+    for h in range(num_core):
+        base = (h * 7) % num_leaves
+        for k in range(homes):
+            g.add_edge(("host", h), ("leaf", (base + k) % num_leaves), 1.0)
+    for h in range(num_core, num_core + num_singles):
+        g.add_edge(("host", h), ("leaf", h % num_leaves), 1.0)
+    return g
+
+
+def _result_fields(result) -> dict:
+    """Everything that must be byte-identical between the two oracles."""
+    return {
+        "edges": sorted(result.spanner.edges(), key=repr),
+        "witnesses": result.witness_fault_sets,
+        "edges_added": result.edges_added,
+        "edges_considered": result.edges_considered,
+    }
+
+
+def _timed_build(graph: Graph, stretch: float, max_faults: int,
+                 fault_model: str, oracle: str):
+    """One construction, timed; the same run feeds the identity assertion.
+
+    Construction benchmarks are long enough (seconds to minutes) that a
+    best-of-N loop would double the wall clock for no extra signal, so each
+    oracle is built exactly once and that run is both the timing sample and
+    the identity witness.
+    """
+    start = time.perf_counter()
+    result = ft_greedy_spanner(graph, stretch, max_faults,
+                               fault_model=fault_model, oracle=oracle,
+                               kernel="numpy")
+    return result, time.perf_counter() - start
+
+
+def record_build_tiered(path=None, *, quick: bool = False) -> dict:
+    """Measure tiered vs exact construction; write ``BENCH_build.json``."""
+    if path is None:
+        path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_build.json"
+    if quick:
+        # Small enough for a CI smoke, large enough that the exact baseline
+        # is seconds (well past MIN_BASELINE_SECONDS) and reject-dominated.
+        configs = [("quick", dict(num_singles=400, num_core=80,
+                                  num_leaves=24, num_spines=8, homes=10))]
+        floor = QUICK_SPEEDUP_FLOOR
+    else:
+        # The headline: a >= 50k-node fabric.  The 100-host 30-homed core
+        # drives the reject-heavy oracle workload (~29 rejects per host —
+        # each screened in f+1 packing sweeps where the exact search pays a
+        # ~40-sweep recursion tree); the singly-homed bulk scales the node
+        # count, and with it the per-sweep cost both oracles pay.
+        configs = [("spine-leaf-50k", dict(num_singles=50_000, num_core=100,
+                                           num_leaves=40, num_spines=12,
+                                           homes=30))]
+        floor = SPEEDUP_FLOOR
+    stretch, max_faults, fault_model = 7.0, 3, "edge"
+    report = {
+        "benchmark": "ft_greedy construction: tiered oracle vs exact "
+                     "branch-and-bound",
+        "baseline": "BranchAndBoundOracle: exact search on every candidate",
+        "tiered": "TieredOracle: shared root query + warm SSSP cache + "
+                  "witness replay + disjoint-path packing, exact search "
+                  "only on the undecided margin",
+        "quick": quick,
+        "stretch": stretch,
+        "max_faults": max_faults,
+        "fault_model": fault_model,
+        "kernel": "numpy",
+        "cases": [],
+    }
+    for label, config in configs:
+        graph = spine_leaf(**config)
+        tiered, tiered_s = _timed_build(graph, stretch, max_faults,
+                                        fault_model, "tiered")
+        exact, exact_s = _timed_build(graph, stretch, max_faults,
+                                      fault_model, "branch-and-bound")
+        assert _result_fields(tiered) == _result_fields(exact), (
+            f"tiered construction diverged from exact on {label}"
+        )
+        report["cases"].append({
+            "case": label,
+            **config,
+            "nodes": tiered.spanner.number_of_nodes(),
+            "edges_considered": tiered.edges_considered,
+            "edges_added": tiered.edges_added,
+            "exact_s": round(exact_s, 3),
+            "tiered_s": round(tiered_s, 3),
+            "speedup": round(exact_s / tiered_s, 2),
+            "screen_hit_rate": tiered.parameters.get("screen_hit_rate"),
+            "screen_outcomes": tiered.parameters.get("screen_outcomes"),
+            "spanners_identical": True,
+            "witnesses_identical": True,
+        })
+    headline = report["cases"][0]
+    report["speedup"] = headline["speedup"]
+    report["speedup_floor"] = floor
+    report["speedup_asserted"] = headline["exact_s"] >= MIN_BASELINE_SECONDS
+    if report["speedup_asserted"]:
+        assert report["speedup"] >= floor, (
+            f"tiered construction speedup regressed below "
+            f"{floor}x: {report['speedup']}x"
+        )
+    pathlib.Path(path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# pytest entries (oracle identity as part of the tier-1 run)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_fabric():
+    return spine_leaf(num_singles=60, num_core=20, num_leaves=10,
+                      num_spines=4, homes=6)
+
+
+@pytest.mark.benchmark(group="build")
+def test_exact_build(benchmark, small_fabric):
+    result = benchmark(lambda: ft_greedy_spanner(
+        small_fabric, 7.0, 2, fault_model="edge",
+        oracle="branch-and-bound", kernel="numpy"))
+    assert result.edges_added > 0
+
+
+@pytest.mark.benchmark(group="build")
+def test_tiered_build(benchmark, small_fabric):
+    expected = ft_greedy_spanner(small_fabric, 7.0, 2, fault_model="edge",
+                                 oracle="branch-and-bound", kernel="numpy")
+    result = benchmark(lambda: ft_greedy_spanner(
+        small_fabric, 7.0, 2, fault_model="edge",
+        oracle="tiered", kernel="numpy"))
+    assert _result_fields(result) == _result_fields(expected)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke configuration (small fabric, seconds)")
+    parser.add_argument("--output", default=None,
+                        help="where to write BENCH_build.json")
+    args = parser.parse_args()
+    outcome = record_build_tiered(args.output, quick=args.quick)
+    for case in outcome["cases"]:
+        hit = case["screen_hit_rate"]
+        print(f"{case['case']}: n={case['nodes']} "
+              f"m={case['edges_considered']} added={case['edges_added']}: "
+              f"exact {case['exact_s']}s, tiered {case['tiered_s']}s "
+              f"-> {case['speedup']}x "
+              f"(screen hit rate {hit:.3f}, outcomes {case['screen_outcomes']}, "
+              f"spanners+witnesses identical)")
+    gate = (f"asserted >= {outcome['speedup_floor']}x"
+            if outcome["speedup_asserted"]
+            else "not asserted: baseline under "
+                 f"{MIN_BASELINE_SECONDS}s")
+    print(f"headline construction speedup: {outcome['speedup']}x [{gate}]")

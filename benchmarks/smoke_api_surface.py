@@ -13,7 +13,10 @@ Three gates, all hard failures:
    the command line;
 3. the algorithm table documented in README.md ("Python API" section) names
    exactly the registered algorithms — the registry and the docs cannot
-   disagree.
+   disagree;
+4. the oracle table documented in README.md ("Tiered oracle" section)
+   matches :func:`repro.spanners.fault_check.describe_oracles` — name,
+   exactness, and aliases.
 """
 
 from __future__ import annotations
@@ -74,6 +77,27 @@ def documented_algorithms() -> set:
     return names
 
 
+def documented_oracles() -> dict:
+    """Oracle rows from the README's oracle table: name -> (exact, aliases)."""
+    text = README.read_text(encoding="utf-8")
+    rows = {}
+    in_table = False
+    for line in text.splitlines():
+        if line.startswith("| oracle"):
+            in_table = True
+            continue
+        if in_table:
+            match = re.match(
+                r"\|\s*`([a-z0-9-]+)`\s*\|\s*(yes|no)\s*\|\s*([^|]+)\|", line)
+            if match:
+                aliases = re.findall(r"`([a-z0-9-]+)`", match.group(3))
+                rows[match.group(1)] = (match.group(2) == "yes",
+                                        sorted(aliases))
+            elif not line.startswith("|"):
+                in_table = False
+    return rows
+
+
 def main() -> int:
     graph = generators.gnm(16, 40, rng=0, connected=True)
     failures = []
@@ -108,6 +132,19 @@ def main() -> int:
     else:
         print(f"ok README algorithm table matches registry "
               f"({len(registered)} algorithms)")
+
+    from repro.spanners.fault_check import describe_oracles
+
+    described = {row["name"]: (row["exact"], sorted(row["aliases"]))
+                 for row in describe_oracles()}
+    documented_o = documented_oracles()
+    if documented_o != described:
+        failures.append(
+            "README oracle table disagrees with describe_oracles(): "
+            f"README {documented_o}, registry {described}")
+    else:
+        print(f"ok README oracle table matches describe_oracles() "
+              f"({len(described)} oracles)")
 
     if failures:
         for failure in failures:

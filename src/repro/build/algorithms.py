@@ -37,9 +37,12 @@ from repro.spanners.base import SpannerResult
 from repro.spanners.ft_greedy import _ft_greedy
 from repro.spanners.greedy import _greedy
 
+_FT_GREEDY_ORACLES = ("branch-and-bound", "exhaustive",
+                      "greedy-path-packing", "tiered")
 _FT_GREEDY_CAPS = AlgorithmCapabilities(
     fault_tolerant=True, fault_models=("vertex", "edge"),
-    produces_witnesses=True, accepts_oracle=True, parallelizable=True)
+    produces_witnesses=True, accepts_oracle=True, parallelizable=True,
+    supported_oracles=_FT_GREEDY_ORACLES)
 _FT_GREEDY_PARAMS = ("record_witnesses", "progress_every")
 
 
@@ -66,7 +69,8 @@ def _build_ft_greedy(graph: Graph, spec: BuildSpec,
     "vft-greedy",
     capabilities=AlgorithmCapabilities(
         fault_tolerant=True, fault_models=("vertex",),
-        produces_witnesses=True, accepts_oracle=True, parallelizable=True),
+        produces_witnesses=True, accepts_oracle=True, parallelizable=True,
+        supported_oracles=_FT_GREEDY_ORACLES),
     params=_FT_GREEDY_PARAMS,
     description="ft-greedy pinned to vertex faults (where the bound is optimal)")
 def _build_vft_greedy(graph: Graph, spec: BuildSpec,
@@ -78,7 +82,8 @@ def _build_vft_greedy(graph: Graph, spec: BuildSpec,
     "eft-greedy",
     capabilities=AlgorithmCapabilities(
         fault_tolerant=True, fault_models=("edge",),
-        produces_witnesses=True, accepts_oracle=True, parallelizable=True),
+        produces_witnesses=True, accepts_oracle=True, parallelizable=True,
+        supported_oracles=_FT_GREEDY_ORACLES),
     params=_FT_GREEDY_PARAMS,
     description="ft-greedy pinned to edge faults (EFT setting)")
 def _build_eft_greedy(graph: Graph, spec: BuildSpec,

@@ -51,6 +51,10 @@ class AlgorithmCapabilities:
     randomized:
         Whether ``spec.seed`` feeds a random stream (deterministic
         algorithms ignore the seed, so one spec can sweep the registry).
+    supported_oracles:
+        Canonical oracle names ``spec.oracle`` may resolve to (empty means
+        "any registered oracle" for algorithms that accept one).  Aliases
+        are fine in the spec; validation resolves them first.
     """
 
     fault_tolerant: bool = False
@@ -59,6 +63,7 @@ class AlgorithmCapabilities:
     accepts_oracle: bool = False
     parallelizable: bool = False
     randomized: bool = False
+    supported_oracles: Tuple[str, ...] = ()
 
     def describe(self) -> str:
         """Compact capability string for CLI listings."""
@@ -157,6 +162,16 @@ def validate_spec(spec: BuildSpec) -> RegisteredAlgorithm:
         raise BuildError(
             f"algorithm {spec.algorithm!r} does not accept a fault-check "
             f"oracle (spec asks for {spec.oracle!r})")
+    if spec.oracle is not None and caps.supported_oracles:
+        from repro.spanners.fault_check import oracle_name
+        try:
+            resolved = oracle_name(spec.oracle)
+        except ValueError as exc:
+            raise BuildError(str(exc)) from None
+        if resolved not in caps.supported_oracles:
+            raise BuildError(
+                f"algorithm {spec.algorithm!r} supports oracle(s) "
+                f"{list(caps.supported_oracles)}, not {resolved!r}")
     if spec.workers > 1 and not caps.parallelizable:
         raise BuildError(
             f"algorithm {spec.algorithm!r} is not parallelizable "

@@ -56,8 +56,8 @@ class BuildSpec:
         ``"vertex"`` or ``"edge"``; ignored by non-fault-tolerant algorithms.
     oracle:
         Fault-check oracle *name* for algorithms that accept one
-        (``"branch-and-bound"``, ``"exhaustive"``, ``"greedy-path-packing"``);
-        ``None`` keeps the algorithm default.
+        (``"branch-and-bound"``, ``"tiered"``, ``"exhaustive"``,
+        ``"greedy-path-packing"``); ``None`` keeps the algorithm default.
     seed:
         Integer seed for randomized algorithms; ignored by deterministic
         ones (so one spec can be reused across a registry sweep).

@@ -119,12 +119,19 @@ def spec_from_args(args: argparse.Namespace) -> BuildSpec:
     if algorithm == "auto":
         algorithm = "ft-greedy" if args.faults > 0 else "greedy"
     entry = get_algorithm(algorithm)
+    params = dict(_parse_param(pair) for pair in (args.param or []))
+    # ``--param oracle=NAME`` round-trips into the spec's oracle slot (the
+    # explicit --oracle flag wins when both are given); validation against
+    # the algorithm's supported oracles happens in validate_spec.
+    oracle = args.oracle
+    if oracle is None and "oracle" in params:
+        oracle = params.pop("oracle")
     return BuildSpec(
         algorithm=algorithm,
         stretch=args.stretch,
         max_faults=args.faults,
         fault_model=args.fault_model or entry.default_fault_model,
-        oracle=args.oracle,
+        oracle=oracle,
         # Deterministic constructions record no seed, so the spec carried in
         # a snapshot never suggests spurious randomness (serve's workload
         # --seed in particular is not a construction parameter).
@@ -133,7 +140,7 @@ def spec_from_args(args: argparse.Namespace) -> BuildSpec:
         workers=getattr(args, "workers", 1),
         backend=getattr(args, "backend", None),
         kernel=getattr(args, "kernel", None),
-        params=dict(_parse_param(pair) for pair in (args.param or [])),
+        params=params,
     )
 
 
@@ -642,6 +649,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
         entry = ALGORITHMS[name]
         print(f"  {name:16s} [{entry.capabilities.describe()}] "
               f"{entry.description}")
+        if entry.capabilities.supported_oracles:
+            print(f"  {'':16s} oracles: "
+                  f"{', '.join(entry.capabilities.supported_oracles)}")
     print("\nkernels:")
     for row in describe_kernel_backends():
         status = "" if row["available"] else " (unavailable)"
@@ -684,8 +694,8 @@ def build_parser() -> argparse.ArgumentParser:
                              default=None,
                              help="default: the algorithm's native model")
         command.add_argument("--oracle", default=None,
-                             choices=["branch-and-bound", "exhaustive",
-                                      "greedy-path-packing"])
+                             choices=["branch-and-bound", "tiered",
+                                      "exhaustive", "greedy-path-packing"])
         command.add_argument("--param", "-P", action="append", default=[],
                              metavar="KEY=VALUE",
                              help="algorithm-specific parameter (repeatable; "

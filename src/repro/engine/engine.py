@@ -117,33 +117,57 @@ def _audit_chunk(ctx: _AuditContext,
 
     Returns the ``(spanner_distance, original_distance)`` pairs in request
     order plus a flat counters mapping (spanner / original kernel-run
-    counts) — the workers' contribution to the engine registry, folded by
-    the caller through :meth:`MetricsRegistry.merge_counters`.  Uses the
-    same early-exiting multi-target kernel as the in-process path, so
-    distances are bit-identical to :meth:`QueryEngine.stretch_audit`.
+    counts, plus ``engine.fused_sweeps`` when the chunk fused) — the
+    workers' contribution to the engine registry, folded by the caller
+    through :meth:`MetricsRegistry.merge_counters`.
+
+    When the resolved backend exposes ``multi_source_multi_target``, all of
+    a side's audits run in one fused sweep (mask-matrix rows, one kernel
+    invocation) instead of one multi-target run per audit — the PR 6 fused
+    serving-path idiom applied inside the worker.  The fused kernel
+    replicates the single-source kernel's per-group semantics, so distances
+    stay bit-identical to :meth:`QueryEngine.stretch_audit` either way;
+    ``kernel_calls`` / ``audit_kernel_calls`` keep counting logical runs.
     """
     model = get_fault_model(ctx.fault_model)
     kernels = get_kernels(ctx.kernel)
     calls = [0, 0]  # [spanner, original]
-    results: List[Tuple[float, float]] = []
-    for source, target, faults in chunk:
-        pair = []
-        for side, csr in enumerate((ctx.csr_h, ctx.csr_g)):
-            source_index = csr.index_of.get(source)
-            target_index = csr.index_of.get(target)
-            if source_index is None or target_index is None:
-                pair.append(_INF)
-                continue
+    fused = 0
+    results = [[_INF, _INF] for _ in chunk]
+    for side, csr in enumerate((ctx.csr_h, ctx.csr_g)):
+        backend = kernels.resolve(csr)
+        # Audits whose endpoints the snapshot knows; the rest stay inf
+        # without a kernel call, exactly as the per-audit loop behaves.
+        pending = [(row, csr.index_of.get(source), csr.index_of.get(target), faults)
+                   for row, (source, target, faults) in enumerate(chunk)]
+        pending = [entry for entry in pending
+                   if entry[1] is not None and entry[2] is not None]
+        if not pending:
+            continue
+        if backend.multi_source_multi_target is not None and len(pending) > 1:
+            vertex_masks, edge_masks = MaskMatrix(csr, model).apply(
+                [faults for _, _, _, faults in pending])
+            answers = backend.multi_source_multi_target(
+                csr, [si for _, si, _, _ in pending],
+                [[ti] for _, _, ti, _ in pending], vertex_masks, edge_masks)
+            for group, (row, _, _, _) in enumerate(pending):
+                results[row][side] = answers[group][0]
+            calls[side] += len(pending)
+            fused += 1
+            continue
+        for row, source_index, target_index, faults in pending:
             mask = model.new_mask(csr)
             for index in model.mask_indices(csr, faults):
                 mask[index] = 1
             vertex_mask, edge_mask = model.kernel_masks(mask)
-            pair.append(kernels.resolve(csr).multi_target_dijkstra_csr(
-                csr, source_index, [target_index], vertex_mask, edge_mask)[0])
+            results[row][side] = backend.multi_target_dijkstra_csr(
+                csr, source_index, [target_index], vertex_mask, edge_mask)[0]
             calls[side] += 1
-        results.append((pair[0], pair[1]))
-    return results, {"engine.kernel_calls": calls[0],
-                     "engine.audit_kernel_calls": calls[1]}
+    counters = {"engine.kernel_calls": calls[0],
+                "engine.audit_kernel_calls": calls[1]}
+    if fused:
+        counters["engine.fused_sweeps"] = fused
+    return [(pair[0], pair[1]) for pair in results], counters
 
 
 class QueryEngine:

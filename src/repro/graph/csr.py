@@ -58,6 +58,7 @@ class CSRGraph:
         "_edge_ids_l",   # access — measurably slower in the inner loops.
         "_extra",        # overflow: node index -> list of (v, w, eid) arcs
         "_extra_count",  # number of overflow arcs
+        "_mirrors_stale",  # list mirrors need a rebuild before loop kernels run
         "_nd_views",     # zero-copy ndarray views keyed per source array
         "graph_version", # Graph.version this snapshot corresponds to
     )
@@ -76,6 +77,7 @@ class CSRGraph:
         self._edge_ids_l: List[int] = []
         self._extra: Dict[int, List[Tuple[int, float, int]]] = {}
         self._extra_count = 0
+        self._mirrors_stale = False
         self._nd_views: Dict[str, object] = {}
         self.graph_version = -1
 
@@ -129,6 +131,20 @@ class CSRGraph:
         self._indices_l = self.indices.tolist()
         self._weights_l = self.weights.tolist()
         self._edge_ids_l = self.edge_ids.tolist()
+        self._mirrors_stale = False
+
+    def arc_lists(self) -> Tuple[List[int], List[int], List[float], List[int]]:
+        """The list mirrors ``(indptr, indices, weights, edge_ids)``.
+
+        The loop kernels read these instead of the ``array`` objects
+        (list indexing returns the stored object; array indexing boxes a
+        fresh int/float per access).  A compaction only marks the mirrors
+        stale — they are rebuilt here, on the first loop-kernel query after
+        it, so a numpy-backend build never pays ``tolist`` at all.
+        """
+        if self._mirrors_stale:
+            self._refresh_mirrors()
+        return self._indptr_l, self._indices_l, self._weights_l, self._edge_ids_l
 
     def intern(self, node: Node) -> int:
         """Index of ``node``, adding it (with an empty adjacency) if new."""
@@ -188,6 +204,71 @@ class CSRGraph:
         """
         if not self._extra_count:
             return
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is present in CI
+            np = None
+        if np is not None:
+            self._compact_vectorized(np)
+        else:
+            self._compact_loop()
+        self._nd_views.pop("data", None)
+        self._nd_views.pop("rev", None)
+        self._mirrors_stale = True
+        self._extra = {}
+        self._extra_count = 0
+
+    def _compact_vectorized(self, np) -> None:
+        """Numpy body of :meth:`compact`: scatter-move instead of Python loops.
+
+        The numpy kernel backend folds the overflow before *every* sweep, so
+        a growing greedy spanner compacts once per accepted edge; the Python
+        rebuild made that O(n·m) of interpreter work and dominated large
+        builds.  Same output layout as :meth:`_compact_loop` — each node's
+        compact slice shifts by the number of overflow arcs owned by earlier
+        nodes, and its own overflow lands after the slice in append order.
+        """
+        extra = self._extra
+        n = len(self.node_of)
+        old_indptr = np.frombuffer(self.indptr, dtype=np.int64)
+        old_indices = np.frombuffer(self.indices, dtype=np.int64)
+        old_weights = np.frombuffer(self.weights, dtype=np.float64)
+        old_edge_ids = np.frombuffer(self.edge_ids, dtype=np.int64)
+        counts = np.zeros(n + 1, dtype=np.int64)
+        for u, bucket in extra.items():
+            counts[u + 1] = len(bucket)
+        offsets = np.cumsum(counts)  # overflow arcs owned by nodes before u
+        total = len(old_indices) + self._extra_count
+        new_indices = np.empty(total, dtype=np.int64)
+        new_weights = np.empty(total, dtype=np.float64)
+        new_edge_ids = np.empty(total, dtype=np.int64)
+        dest = np.arange(len(old_indices), dtype=np.int64)
+        dest += np.repeat(offsets[:-1], np.diff(old_indptr))
+        new_indices[dest] = old_indices
+        new_weights[dest] = old_weights
+        new_edge_ids[dest] = old_edge_ids
+        for u, bucket in extra.items():
+            pos = int(old_indptr[u + 1] + offsets[u])
+            for j, (v, w, eid) in enumerate(bucket):
+                new_indices[pos + j] = v
+                new_weights[pos + j] = w
+                new_edge_ids[pos + j] = eid
+        # In-place element writes through the view never resize the indptr
+        # array, so they are legal even while an exported ndarray view pins
+        # the buffer — identity preserved, the cached view sees the update.
+        old_indptr += offsets
+        indices = array("q")
+        indices.frombytes(new_indices.tobytes())
+        weights = array("d")
+        weights.frombytes(new_weights.tobytes())
+        edge_ids = array("q")
+        edge_ids.frombytes(new_edge_ids.tobytes())
+        self.indices = indices
+        self.weights = weights
+        self.edge_ids = edge_ids
+
+    def _compact_loop(self) -> None:
+        """Pure-Python body of :meth:`compact` (no-numpy fallback)."""
         old_indptr = self.indptr
         old_indices = self.indices
         old_weights = self.weights
@@ -220,11 +301,6 @@ class CSRGraph:
         self.indices = indices
         self.weights = weights
         self.edge_ids = edge_ids
-        self._nd_views.pop("data", None)
-        self._nd_views.pop("rev", None)
-        self._refresh_mirrors()
-        self._extra = {}
-        self._extra_count = 0
 
     # -------------------------------------------------------------- queries
     @property

@@ -53,10 +53,7 @@ def bounded_dijkstra_csr(csr: CSRGraph, source: int, target: int, budget: float,
         visited = bytearray(vertex_mask)
     if source == target:
         return 0.0
-    indptr = csr._indptr_l
-    indices = csr._indices_l
-    weights = csr._weights_l
-    edge_ids = csr._edge_ids_l
+    indptr, indices, weights, edge_ids = csr.arc_lists()
     get_extra = csr._extra.get
     best = [_INF] * len(visited)
     best[source] = 0.0
@@ -115,10 +112,7 @@ def bounded_dijkstra_path_csr(csr: CSRGraph, source: int, target: int, budget: f
         visited = bytearray(vertex_mask)
     if source == target:
         return 0.0, [source]
-    indptr = csr._indptr_l
-    indices = csr._indices_l
-    weights = csr._weights_l
-    edge_ids = csr._edge_ids_l
+    indptr, indices, weights, edge_ids = csr.arc_lists()
     get_extra = csr._extra.get
     parents = [-1] * n
     best = [_INF] * n
@@ -187,10 +181,7 @@ def sssp_dijkstra_csr(csr: CSRGraph, source: int,
         if vertex_mask[source]:
             return dist, order
         visited = bytearray(vertex_mask)
-    indptr = csr._indptr_l
-    indices = csr._indices_l
-    weights = csr._weights_l
-    edge_ids = csr._edge_ids_l
+    indptr, indices, weights, edge_ids = csr.arc_lists()
     get_extra = csr._extra.get
     best = [_INF] * n
     best[source] = 0.0
@@ -276,10 +267,7 @@ def multi_target_dijkstra_csr(csr: CSRGraph, source: int, targets: List[int],
     if not pending:
         return result
     remaining = len(pending)
-    indptr = csr._indptr_l
-    indices = csr._indices_l
-    weights = csr._weights_l
-    edge_ids = csr._edge_ids_l
+    indptr, indices, weights, edge_ids = csr.arc_lists()
     get_extra = csr._extra.get
     best = [_INF] * len(visited)
     best[source] = 0.0
@@ -347,9 +335,7 @@ def bfs_distances_csr(csr: CSRGraph, source: int,
     seen[source] = 1
     dist[source] = 0
     order.append(source)
-    indptr = csr._indptr_l
-    indices = csr._indices_l
-    edge_ids = csr._edge_ids_l
+    indptr, indices, _, edge_ids = csr.arc_lists()
     get_extra = csr._extra.get
     queue = deque([source])
     while queue:
@@ -402,9 +388,7 @@ def bounded_bfs_csr(csr: CSRGraph, source: int, target: int,
     seen[source] = 1
     dist = [-1] * n
     dist[source] = 0
-    indptr = csr._indptr_l
-    indices = csr._indices_l
-    edge_ids = csr._edge_ids_l
+    indptr, indices, _, edge_ids = csr.arc_lists()
     get_extra = csr._extra.get
     queue = deque([source])
     while queue:

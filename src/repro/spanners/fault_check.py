@@ -6,7 +6,7 @@ Algorithm 1 adds the edge ``(u, v)`` to ``H`` exactly when
 
 Answering this is the only hard part of the algorithm — the paper notes the
 naive implementation is exponential in ``f`` and leaves a faster algorithm as
-an open problem.  This module provides three oracles behind one interface:
+an open problem.  This module provides four oracles behind one interface:
 
 * :class:`ExhaustiveOracle` — literally tries every fault set of size ≤ f.
   Exponential in ``f`` with a huge base (``n choose f``); only sensible for
@@ -25,6 +25,16 @@ an open problem.  This module provides three oracles behind one interface:
   sparser than required and is *not guaranteed* to be ``f``-fault tolerant.
   It exists for the runtime experiment (E8) and as the "better and simpler"
   style baseline.
+* :class:`TieredOracle` — exact, and the construction-scale fast path: cheap
+  *sound* screens (warm-started distance vectors shared across consecutive
+  candidates with the same source, disjoint short-path packing, replay of
+  the previous witness fault set — the Lemma 3 blocking-set material of
+  :mod:`repro.spanners.blocking`) answer most candidates outright, and only
+  the undecided margin falls through to the branch-and-bound search.  The
+  screens may certify a reject or certify the exact oracle's accept (with
+  the identical canonical witness); they never change a decision, so
+  spanners and witnesses are byte-identical to :class:`BranchAndBoundOracle`
+  (property-tested in ``tests/test_fault_check.py``).
 
 All oracles return either a canonical fault set ``F`` witnessing the distance
 blow-up, or ``None`` when no such set exists (or was found, for the
@@ -43,16 +53,22 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.faults.enumeration import enumerate_fault_sets
 from repro.faults.models import FaultModel, FaultSet, get_fault_model
 from repro.graph.core import Graph, Node, edge_key
 from repro.graph.csr import CSRGraph, csr_snapshot
 from repro.graph.views import ExclusionView
-from repro.obs.metrics import MetricsRegistry, component_registry
+from repro.obs.metrics import MetricsRegistry, component_registry, get_registry
 from repro.paths.dijkstra import bounded_distance, bounded_path
 from repro.paths.registry import KernelLike, get_kernels
+
+#: Screen outcomes that resolved the query without the exact search.
+SCREEN_RESOLVED_OUTCOMES = ("accept", "reject")
+
+#: Buckets for the per-build screen hit-rate histogram (a fraction in [0, 1]).
+RATE_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
 
 
 class OracleStats:
@@ -67,7 +83,8 @@ class OracleStats:
     it at build start so finished builds report per-build work.
     """
 
-    __slots__ = ("metrics", "_queries", "_distance_queries", "_nodes_expanded")
+    __slots__ = ("metrics", "_queries", "_distance_queries", "_nodes_expanded",
+                 "_screen", "_screen_children", "_exact", "_screen_hit_rate")
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self.metrics = (metrics if metrics is not None
@@ -79,6 +96,25 @@ class OracleStats:
             "bounded distance queries issued by oracles")
         self._nodes_expanded = self.metrics.counter(
             "oracle.nodes_expanded", "branch-and-bound search tree nodes")
+        # Tiered-oracle observability: every tiered query lands exactly one
+        # screen outcome ("accept" / "reject" resolved by the screen,
+        # "fallthrough" handed to the exact search) and fallthroughs also
+        # count one exact check, so accept+reject+fallthrough == queries and
+        # exact == fallthrough reconcile per build — including parallel
+        # builds, where the workers ship these as flat labeled counters.
+        self._screen = self.metrics.counter(
+            "oracle.screen", "tiered-oracle screen decisions, by outcome")
+        self._screen_children: Dict[str, object] = {}
+        self._exact = self.metrics.counter(
+            "oracle.exact", "fault checks answered by the exact search")
+        # The hit-rate histogram lives on the *process* registry: per-build
+        # observations are process history, and the per-oracle component
+        # registry (weakly attached) dies with the oracle — usually before
+        # a ``--metrics-json`` snapshot is written.
+        self._screen_hit_rate = get_registry().histogram(
+            "oracle.screen_hit_rate",
+            "fraction of fault checks the screen resolved, per build",
+            buckets=RATE_BUCKETS)
 
     @property
     def queries(self) -> int:
@@ -92,6 +128,29 @@ class OracleStats:
     def nodes_expanded(self) -> int:
         return self._nodes_expanded.value
 
+    @property
+    def screen_outcomes(self) -> Dict[str, int]:
+        """Screen outcome → count (empty unless a tiered oracle ran)."""
+        return {outcome: child.value
+                for outcome, child in self._screen_children.items()
+                if child.value}
+
+    @property
+    def screen_checks(self) -> int:
+        """Total screen decisions (every tiered query makes exactly one)."""
+        return sum(child.value for child in self._screen_children.values())
+
+    @property
+    def screen_resolved(self) -> int:
+        """Queries the screen answered without running the exact search."""
+        return sum(child.value
+                   for outcome, child in self._screen_children.items()
+                   if outcome in SCREEN_RESOLVED_OUTCOMES)
+
+    @property
+    def exact_checks(self) -> int:
+        return self._exact.value
+
     def count_query(self) -> None:
         self._queries.inc()
 
@@ -101,8 +160,57 @@ class OracleStats:
     def count_nodes_expanded(self) -> None:
         self._nodes_expanded.inc()
 
+    def count_screen(self, outcome: str) -> None:
+        child = self._screen_children.get(outcome)
+        if child is None:
+            child = self._screen_children[outcome] = self._screen.labels(
+                outcome=outcome)
+        child.inc()
+
+    def count_exact(self) -> None:
+        self._exact.inc()
+
+    def observe_screen_hit_rate(
+            self, extra: Optional[Mapping[str, float]] = None) -> Optional[float]:
+        """Record this build's screen hit rate; returns the rate (or ``None``).
+
+        ``extra`` optionally folds in screen counts a parallel driver
+        collected from its workers (the flat ``oracle.screen{outcome="..."}``
+        keys shipped by :func:`repro.spanners.ft_greedy._ft_check_chunk`).
+        """
+        outcomes = {outcome: child.value
+                    for outcome, child in self._screen_children.items()}
+        if extra:
+            for flat, amount in extra.items():
+                if flat.startswith('oracle.screen{outcome="') and flat.endswith('"}'):
+                    outcome = flat[len('oracle.screen{outcome="'):-2]
+                    outcomes[outcome] = outcomes.get(outcome, 0) + amount
+        total = sum(outcomes.values())
+        if not total:
+            return None
+        rate = sum(count for outcome, count in outcomes.items()
+                   if outcome in SCREEN_RESOLVED_OUTCOMES) / total
+        self._screen_hit_rate.observe(rate)
+        return rate
+
     def reset(self) -> None:
         self.metrics.reset()
+
+    def publish(self) -> None:
+        """Fold this oracle's counters into the process registry, then zero.
+
+        Build drivers call this once per finished build (after reading the
+        per-build numbers into the result): the per-oracle component
+        registry is only weakly attached and dies with the oracle, so a
+        ``--metrics-json`` snapshot written after the build would otherwise
+        miss the ``oracle.*`` family entirely.  Zeroing after the fold
+        keeps a long-lived oracle instance from double-counting in
+        ``include_sources`` views.
+        """
+        counters = self.metrics.counters()
+        if counters:
+            get_registry().merge_counters(counters)
+            self.metrics.reset()
 
 
 def candidate_elements_csr(model: FaultModel, csr: CSRGraph, source: Node,
@@ -294,8 +402,9 @@ class BranchAndBoundOracle(FaultCheckOracle):
         self.stats.count_distance_query()
         if s is None or t is None:
             return list(current)
+        backend = self.kernels.resolve(csr)
         vertex_mask, edge_mask = model.kernel_masks(mask)
-        distance, index_path = self.kernels.resolve(csr).bounded_dijkstra_path_csr(
+        distance, index_path = backend.bounded_dijkstra_path_csr(
             csr, s, t, budget, vertex_mask, edge_mask)
         if distance > budget:
             return list(current)
@@ -303,7 +412,17 @@ class BranchAndBoundOracle(FaultCheckOracle):
             return None
         node_of = csr.node_of
         path = [node_of[index] for index in index_path]
-        for element in self._path_elements(path, source, target, model):
+        elements = self._path_elements(path, source, target, model)
+        if (remaining == 1 and len(elements) > 1
+                and backend.multi_source_multi_target is not None):
+            # Every child of this node is a leaf (remaining == 0): its whole
+            # decision is one bounded distance comparison, so the sibling
+            # queries batch into a single fused sweep instead of one bounded
+            # Dijkstra per branch.  The leaves are the bulk of the O(L^f)
+            # tree, which is where the per-branch query cost lived.
+            return self._fused_leaf_search(csr, s, t, budget, model, elements,
+                                           current, mask, backend)
+        for element in elements:
             index = model.mask_indices(csr, (element,))[0]
             current.append(element)
             mask[index] = 1
@@ -313,6 +432,38 @@ class BranchAndBoundOracle(FaultCheckOracle):
             current.pop()
             if result is not None:
                 return result
+        return None
+
+    def _fused_leaf_search(self, csr: CSRGraph, s: int, t: int, budget: float,
+                           model: FaultModel, elements: List, current: List,
+                           mask: bytearray, backend) -> Optional[List]:
+        """All ``remaining == 0`` children of one node, in one fused sweep.
+
+        Scanning the answers in branch order and stopping at the first
+        distance beyond the budget reproduces the serial child loop's
+        first-hit semantics exactly, so the returned fault list (and the
+        ``None`` miss) is byte-identical to the per-branch recursion.
+        """
+        import numpy as np
+
+        rows = np.tile(np.frombuffer(bytes(mask), dtype=np.uint8),
+                       (len(elements), 1))
+        for row, element in enumerate(elements):
+            rows[row, model.mask_indices(csr, (element,))[0]] = 1
+        if model.uses_vertex_mask:
+            vertex_masks, edge_masks = rows, None
+        else:
+            vertex_masks, edge_masks = None, rows
+        answers = backend.multi_source_multi_target(
+            csr, [s] * len(elements), [[t]] * len(elements),
+            vertex_masks, edge_masks)
+        for row, element in enumerate(elements):
+            # Count exactly what the serial loop would have: one expansion
+            # and one distance query per child actually visited.
+            self.stats.count_nodes_expanded()
+            self.stats.count_distance_query()
+            if answers[row][0] > budget:
+                return current + [element]
         return None
 
     def _search(self, graph, source: Node, target: Node, budget: float,
@@ -342,6 +493,298 @@ class BranchAndBoundOracle(FaultCheckOracle):
         if model.name == "vertex":
             return [node for node in path if node != source and node != target]
         return [edge_key(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+
+class TieredOracle(BranchAndBoundOracle):
+    """Exact oracle with certified screens in front of the branch-and-bound search.
+
+    Every query runs a pipeline of cheap *sound* screens; only the undecided
+    margin pays for the exact search.  Each screen carries its own
+    correctness certificate, so the decision — and, for accepts, the
+    canonical witness — is byte-identical to :class:`BranchAndBoundOracle`:
+
+    1. **Isolated endpoints** — an endpoint that is missing from the
+       snapshot, or present with no incident arcs, has no ``u``–``v`` path
+       at all: the exact search's root query would read ``inf`` and return
+       ``model.canonical([])``, so the screen certifies that accept from
+       the degree alone, with no sweep.
+    2. **Warm-started distance vectors** — the unfaulted distance
+       ``dist_H(u, v)`` is read from a full SSSP vector cached across
+       consecutive candidates sharing a source (the sorted-edges order the
+       greedy driver feeds makes those runs common; the cache key includes
+       the snapshot's edge count, so growing ``H`` invalidates it).  If
+       ``dist_H(u, v) > budget`` the exact search's very first bounded query
+       would exceed the budget and return ``model.canonical([])`` — the
+       screen returns that same empty canonical witness.  If
+       ``dist_H(u, v) ≤ budget`` and ``f = 0``, the exact search would
+       reject; the screen rejects.
+    3. **Witness replay** (the Lemma 3 blocking-set material of
+       :mod:`repro.spanners.blocking`) — the previous accept's witness fault
+       set is retried with ``|F|`` byte writes and one bounded query.  If it
+       still pushes the distance beyond the budget, a breaking fault set
+       *exists*, so path packing cannot possibly certify a reject: the
+       query goes straight to the exact search (which alone produces the
+       canonical witness).
+    4. **Disjoint short-path packing** — greedily pack element-disjoint
+       ``u``–``v`` paths of length ``≤ budget``: each found path has its
+       faultable elements masked before the next query.  ``f + 1`` such
+       paths (or any one path with no faultable element) certify that every
+       fault set of size ``≤ f`` leaves some short path intact, i.e. the
+       exact search must answer ``None``.  Costs at most ``f + 1`` bounded
+       queries, against the exact search's ``O(L^f)``.
+
+    Outcomes land on the ``oracle.screen{outcome=}`` counter ("accept",
+    "reject", "fallthrough"); fallthroughs also count ``oracle.exact``, and
+    the per-build hit rate feeds the ``oracle.screen_hit_rate`` histogram.
+    """
+
+    name = "tiered"
+    exact = True
+
+    def __init__(self, kernel: KernelLike = None) -> None:
+        super().__init__(kernel)
+        # Warm SSSP cache: (id(csr), num_edges, source index) -> distances.
+        # One entry suffices — the greedy driver's candidate stream visits
+        # sources in runs, and any accepted edge invalidates via num_edges.
+        self._sssp_key: Optional[Tuple] = None
+        self._sssp_dist: Optional[List[float]] = None
+        self._previous_key: Optional[Tuple] = None
+        #: Most recent non-empty exact witness, replayed by screen 2.
+        self._recent_witness: Optional[List] = None
+        # Reusable packing/replay mask (MaskBuffer discipline: writes are
+        # tracked and cleared, so masking costs O(elements), not O(n)).
+        self._scratch: Optional[bytearray] = None
+
+    def find_breaking_fault_set(self, graph, source: Node, target: Node,
+                                budget: float, max_faults: int,
+                                fault_model: "str | FaultModel") -> Optional[FaultSet]:
+        model = get_fault_model(fault_model)
+        if isinstance(graph, Graph):
+            return self.find_breaking_fault_set_csr(
+                csr_snapshot(graph), source, target, budget, max_faults, model)
+        # Duck-typed graphs have no snapshot to screen against; hand the
+        # whole query to the view-based exact search.
+        self.stats.count_query()
+        self.stats.count_screen("fallthrough")
+        self.stats.count_exact()
+        found = self._search(graph, source, target, budget, max_faults, model, [])
+        return model.canonical(found) if found is not None else None
+
+    def find_breaking_fault_set_csr(self, csr: CSRGraph, source: Node,
+                                    target: Node, budget: float,
+                                    max_faults: int,
+                                    fault_model: "str | FaultModel",
+                                    candidates: Optional[List] = None) -> Optional[FaultSet]:
+        # ``candidates`` is ignored, exactly as in the branch-and-bound
+        # search the undecided margin falls through to.
+        model = get_fault_model(fault_model)
+        self.stats.count_query()
+        s = csr.index_of.get(source)
+        t = csr.index_of.get(target)
+        if s is None or t is None:
+            # The exact search returns the empty canonical set outright for
+            # endpoints unknown to the snapshot.
+            self.stats.count_screen("accept")
+            return model.canonical([])
+        if not csr.degree(s) or not csr.degree(t):
+            # An isolated endpoint has no u–v path at all: the exact
+            # search's root query would read dist = inf > budget and accept
+            # with the empty canonical witness.  Certifying that accept from
+            # the degree alone skips the sweep *and* — on graphs where most
+            # candidates attach a new leaf node, the dominant shape at
+            # datacenter scale — lets the snapshot's overflow arcs pile up
+            # across a whole run of such accepts instead of forcing one
+            # compaction per accepted edge.
+            self.stats.count_screen("accept")
+            return model.canonical([])
+        # One root query feeds every tier: the warm-cache read (free on a
+        # hit), the accept/f=0 screens, the packing screen's first path,
+        # and the exact search's root — the fallthrough never re-queries.
+        distance, root_path = self._root_query(csr, s, t, budget)
+        if distance > budget:
+            # Certified accept: the exact search's unfaulted root query sees
+            # this same distance and returns the empty canonical witness.
+            self.stats.count_screen("accept")
+            return model.canonical([])
+        if max_faults == 0:
+            # Root distance within budget with no fault budget left: the
+            # exact search answers None from its root.
+            self.stats.count_screen("reject")
+            return None
+        straight_to_exact = self._witness_replays(
+            csr, source, target, s, t, budget, max_faults, model)
+        if not straight_to_exact and self._packs_disjoint_paths(
+                csr, source, target, s, t, budget, max_faults, model,
+                root_path):
+            # f+1 element-disjoint short paths (or one unfaultable path):
+            # every fault set of size <= f leaves a short path intact, so
+            # the exact search must reject.
+            self.stats.count_screen("reject")
+            return None
+        self.stats.count_screen("fallthrough")
+        self.stats.count_exact()
+        found = self._exact_from_root(csr, source, target, s, t, budget,
+                                      max_faults, model, root_path)
+        if found:
+            self._recent_witness = list(found)
+        return model.canonical(found) if found is not None else None
+
+    # ------------------------------------------------------------- screens
+    def _root_query(self, csr: CSRGraph, s: int, t: int,
+                    budget: float) -> Tuple[float, Optional[List[Node]]]:
+        """Unfaulted ``(dist_H(u, v), short path or None)``, warm-started.
+
+        Consecutive candidates sharing a source are common (``sorted_edges``
+        tie-breaks cluster them within weight classes): the second same-source
+        query against an unchanged snapshot computes one *full* SSSP vector
+        and every later one reads ``dist[t]`` for free.  The vector must be
+        cutoff-free — a budget-bounded vector would read ``inf`` for
+        reachable nodes past the cutoff and wrongly certify accepts for later
+        candidates with larger budgets.  Any accepted edge invalidates the
+        cache through the ``num_edges`` component of the key.  Vector reads
+        return no path; callers that need one (packing, the exact search)
+        issue their own path query.
+        """
+        key = (id(csr), csr.num_edges, s)
+        if self._sssp_key == key and self._sssp_dist is not None:
+            return self._sssp_dist[t], None
+        backend = self.kernels.resolve(csr)
+        if self._previous_key == key:
+            self.stats.count_distance_query()
+            dist, _ = backend.sssp_dijkstra_csr(csr, s, None, None, None)
+            self._sssp_key = key
+            self._sssp_dist = dist
+            return dist[t], None
+        self._previous_key = key
+        self.stats.count_distance_query()
+        distance, index_path = backend.bounded_dijkstra_path_csr(
+            csr, s, t, budget, None, None)
+        node_of = csr.node_of
+        return distance, [node_of[index] for index in index_path]
+
+    def _exact_from_root(self, csr: CSRGraph, source: Node, target: Node,
+                         s: int, t: int, budget: float, max_faults: int,
+                         model: FaultModel,
+                         root_path: Optional[List[Node]]) -> Optional[List]:
+        """The exact branch-and-bound search, root query already answered.
+
+        Replays :meth:`BranchAndBoundOracle._search_csr`'s root node without
+        re-issuing its (deterministic, already screened ``<= budget``)
+        unfaulted query — the caller holds the distance and, unless it came
+        from the warm cache, the path.  Children recurse through the
+        inherited ``_search_csr`` unchanged, so the found fault set is
+        byte-identical to the plain exact oracle's.
+        """
+        mask = model.new_mask(csr)
+        if root_path is None:
+            # The root distance came from the cached SSSP vector (no path);
+            # this is the one fallthrough shape that pays the root twice.
+            return self._search_csr(csr, source, target, s, t, budget,
+                                    max_faults, model, [], mask)
+        self.stats.count_nodes_expanded()
+        backend = self.kernels.resolve(csr)
+        elements = self._path_elements(root_path, source, target, model)
+        if (max_faults == 1 and len(elements) > 1
+                and backend.multi_source_multi_target is not None):
+            return self._fused_leaf_search(csr, s, t, budget, model, elements,
+                                           [], mask, backend)
+        current: List = []
+        for element in elements:
+            index = model.mask_indices(csr, (element,))[0]
+            current.append(element)
+            mask[index] = 1
+            result = self._search_csr(csr, source, target, s, t, budget,
+                                      max_faults - 1, model, current, mask)
+            mask[index] = 0
+            current.pop()
+            if result is not None:
+                return result
+        return None
+
+    def _scratch_mask(self, csr: CSRGraph, model: FaultModel) -> bytearray:
+        width = csr.num_nodes if model.uses_vertex_mask else csr.num_edges
+        if self._scratch is None or len(self._scratch) != width:
+            self._scratch = model.new_mask(csr)
+        return self._scratch
+
+    def _witness_replays(self, csr: CSRGraph, source: Node, target: Node,
+                         s: int, t: int, budget: float, max_faults: int,
+                         model: FaultModel) -> bool:
+        """Whether the previous witness fault set breaks this pair too.
+
+        ``True`` certifies that *some* breaking fault set of size
+        ``≤ max_faults`` exists, so the packing screen is skipped and the
+        exact search (the only producer of canonical witnesses) runs
+        directly.  ``False`` is always safe — it only means "screen on".
+        """
+        witness = self._recent_witness
+        if witness is None or len(witness) > max_faults:
+            return False
+        if model.uses_vertex_mask and (source in witness or target in witness):
+            # A fault set for this pair may not contain its own endpoints.
+            return False
+        mask = self._scratch_mask(csr, model)
+        indices = model.mask_indices(csr, witness)
+        if len(indices) != len(witness):
+            # Elements unknown to this snapshot were dropped (possible under
+            # dynamic deletions); the smaller set is still a valid
+            # certificate, but skip the stale witness entirely.
+            for index in indices:
+                mask[index] = 0
+            return False
+        for index in indices:
+            mask[index] = 1
+        vertex_mask, edge_mask = model.kernel_masks(mask)
+        self.stats.count_distance_query()
+        exceeded = self.kernels.resolve(csr).bounded_dijkstra_csr(
+            csr, s, t, budget, vertex_mask, edge_mask) > budget
+        for index in indices:
+            mask[index] = 0
+        return exceeded
+
+    def _packs_disjoint_paths(self, csr: CSRGraph, source: Node, target: Node,
+                              s: int, t: int, budget: float, max_faults: int,
+                              model: FaultModel,
+                              root_path: Optional[List[Node]] = None) -> bool:
+        """Certify a reject by packing ``max_faults + 1`` disjoint short paths.
+
+        Greedy packing, not max-flow: a ``True`` answer is a sound
+        certificate (some short path survives every fault set of size
+        ``≤ max_faults``), a ``False`` answer only sends the query on to the
+        exact search.  ``root_path``, when the caller holds one, serves as
+        the first packed path for free (the mask starts empty, so the first
+        packing query would reproduce exactly the unfaulted root query).
+        """
+        backend = self.kernels.resolve(csr)
+        mask = self._scratch_mask(csr, model)
+        vertex_mask, edge_mask = model.kernel_masks(mask)
+        node_of = csr.node_of
+        set_indices: List[int] = []
+        path = root_path
+        try:
+            for packed in range(max_faults + 1):
+                if path is None:
+                    self.stats.count_distance_query()
+                    distance, index_path = backend.bounded_dijkstra_path_csr(
+                        csr, s, t, budget, vertex_mask, edge_mask)
+                    if distance > budget:
+                        return False
+                    path = [node_of[index] for index in index_path]
+                elements = self._path_elements(path, source, target, model)
+                if not elements:
+                    # A short path with nothing to fault survives every
+                    # fault set outright.
+                    return True
+                if packed < max_faults:
+                    indices = model.mask_indices(csr, elements)
+                    for index in indices:
+                        mask[index] = 1
+                    set_indices.extend(indices)
+                path = None
+            return True
+        finally:
+            for index in set_indices:
+                mask[index] = 0
 
 
 class GreedyPathPackingOracle(FaultCheckOracle):
@@ -429,24 +872,51 @@ _ORACLES = {
     "exact": BranchAndBoundOracle,
     "greedy-path-packing": GreedyPathPackingOracle,
     "heuristic": GreedyPathPackingOracle,
+    "tiered": TieredOracle,
 }
+
+
+def available_oracles() -> List[str]:
+    """Sorted names (including aliases) accepted by :func:`get_oracle`."""
+    return sorted(_ORACLES)
+
+
+def oracle_name(name: "str | FaultCheckOracle | None") -> str:
+    """Resolve a name, alias, or instance to its canonical oracle name."""
+    if name is None:
+        return BranchAndBoundOracle.name
+    if isinstance(name, FaultCheckOracle):
+        return name.name
+    if isinstance(name, str) and name.lower() in _ORACLES:
+        return _ORACLES[name.lower()].name
+    raise ValueError(
+        f"unknown oracle {name!r}; available: {available_oracles()}")
+
+
+def describe_oracles() -> List[dict]:
+    """One row per canonical oracle: name, exactness, and accepted aliases."""
+    rows = []
+    for cls in sorted({cls for cls in _ORACLES.values()},
+                      key=lambda cls: cls.name):
+        aliases = sorted(alias for alias, target in _ORACLES.items()
+                         if target is cls and alias != cls.name)
+        rows.append({"name": cls.name, "exact": cls.exact, "aliases": aliases})
+    return rows
 
 
 def get_oracle(name: "str | FaultCheckOracle | None",
                kernel: KernelLike = None) -> FaultCheckOracle:
     """Resolve an oracle by name; ``None`` gives the default exact oracle.
 
-    ``kernel`` picks the kernel backend the oracle's CSR distance queries
-    run on (passed through to the oracle constructor; ignored for
-    already-constructed oracle instances).
+    Already-constructed oracle instances pass through unchanged (``kernel``
+    is ignored for them).  For names, ``kernel`` picks the kernel backend
+    the oracle's CSR distance queries run on.
     """
     if name is None:
         return BranchAndBoundOracle(kernel)
     if isinstance(name, FaultCheckOracle):
         return name
-    try:
+    if isinstance(name, str) and name.lower() in _ORACLES:
         return _ORACLES[name.lower()](kernel)
-    except (KeyError, AttributeError):
-        raise ValueError(
-            f"unknown oracle {name!r}; expected one of {sorted(set(_ORACLES))}"
-        ) from None
+    raise ValueError(
+        f"unknown oracle {name!r}; available: {available_oracles()}")

@@ -119,9 +119,10 @@ def ft_greedy_spanner(graph: Graph, stretch: float, max_faults: int,
         (EFT).
     oracle:
         Fault-check oracle: ``"branch-and-bound"`` (default, exact),
-        ``"exhaustive"`` (exact, slow), ``"greedy-path-packing"`` (heuristic,
-        polynomial — the resulting spanner may not be fully fault tolerant),
-        or an oracle instance.
+        ``"tiered"`` (exact, certified screens in front of branch-and-bound
+        — the fast choice at scale), ``"exhaustive"`` (exact, slow),
+        ``"greedy-path-packing"`` (heuristic, polynomial — the resulting
+        spanner may not be fully fault tolerant), or an oracle instance.
     record_witnesses:
         Keep the fault set that justified each added edge (needed by the
         Lemma 3 blocking-set extraction; costs a small amount of memory).
@@ -236,6 +237,17 @@ def _ft_greedy(graph: Graph, stretch: float, max_faults: int,
             on_progress("ft-greedy", considered, len(edge_list))
     timer.stop()
 
+    parameters = {"oracle": checker.name, "oracle_exact": checker.exact}
+    hit_rate = checker.stats.observe_screen_hit_rate()
+    if hit_rate is not None:
+        parameters["screen_hit_rate"] = hit_rate
+        parameters["screen_outcomes"] = checker.stats.screen_outcomes
+    oracle_queries = checker.stats.queries
+    distance_queries = checker.stats.distance_queries
+    # Flush the oracle's counters to the process registry: the checker (and
+    # its weakly-attached component registry) may die with this frame, and
+    # a --metrics-json snapshot must still see the build's oracle.* family.
+    checker.stats.publish()
     return SpannerResult(
         spanner=spanner,
         original=graph,
@@ -246,10 +258,10 @@ def _ft_greedy(graph: Graph, stretch: float, max_faults: int,
         witness_fault_sets=witnesses,
         edges_considered=considered,
         edges_added=spanner.number_of_edges(),
-        oracle_queries=checker.stats.queries,
-        distance_queries=checker.stats.distance_queries,
+        oracle_queries=oracle_queries,
+        distance_queries=distance_queries,
         construction_seconds=timer.elapsed,
-        parameters={"oracle": checker.name, "oracle_exact": checker.exact},
+        parameters=parameters,
     )
 
 
@@ -290,8 +302,11 @@ def _ft_check_chunk(ctx: _FTCheckContext,
         found.append(checker.find_breaking_fault_set_csr(
             ctx.csr, source, target, budget, ctx.max_faults, model,
             candidates=candidates))
-    counters = {"oracle.queries": checker.stats.queries,
-                "oracle.distance_queries": checker.stats.distance_queries}
+    # Ship the oracle's whole counter family — queries, distance queries,
+    # nodes expanded, and the tiered screen/exact outcome tallies (labeled
+    # keys like ``oracle.screen{outcome="reject"}`` round-trip through
+    # ``merge_counters``).
+    counters = checker.stats.metrics.counters()
     # Reset before returning so backend-level metric capture (which ships
     # the worker registry's movement) can never count this work a second
     # time: the explicit mapping above is the single source of truth.
@@ -406,6 +421,24 @@ def _ft_greedy_parallel(graph: Graph, stretch: float, max_faults: int,
             on_progress("ft-greedy", considered, total)
     timer.stop()
 
+    parameters = {"oracle": checker.name, "oracle_exact": checker.exact,
+                  "workers": backend.workers, "backend": backend.name,
+                  "speculative_batches": batches,
+                  "speculative_rechecks": rechecks}
+    # The screen outcomes from the workers arrived as flat labeled counters;
+    # fold them into the in-process tally before computing the build's rate.
+    hit_rate = checker.stats.observe_screen_hit_rate(extra=worker_counters)
+    if hit_rate is not None:
+        parameters["screen_hit_rate"] = hit_rate
+    oracle_queries = (checker.stats.queries
+                      + int(worker_counters.get("oracle.queries", 0)))
+    distance_queries = (checker.stats.distance_queries
+                        + int(worker_counters.get("oracle.distance_queries", 0)))
+    # The worker deltas were already merged into the process registry as
+    # they arrived; flush the local checker's recheck counts the same way,
+    # so a --metrics-json snapshot sees the whole build's oracle.* family
+    # even after the checker dies with this frame.
+    checker.stats.publish()
     return SpannerResult(
         spanner=spanner,
         original=graph,
@@ -418,15 +451,10 @@ def _ft_greedy_parallel(graph: Graph, stretch: float, max_faults: int,
         edges_added=spanner.number_of_edges(),
         # Counters report actual (speculative + recheck) work; unlike the
         # spanner and witnesses they are *not* byte-identical to serial.
-        oracle_queries=(checker.stats.queries
-                        + int(worker_counters.get("oracle.queries", 0))),
-        distance_queries=(checker.stats.distance_queries
-                          + int(worker_counters.get("oracle.distance_queries", 0))),
+        oracle_queries=oracle_queries,
+        distance_queries=distance_queries,
         construction_seconds=timer.elapsed,
-        parameters={"oracle": checker.name, "oracle_exact": checker.exact,
-                    "workers": backend.workers, "backend": backend.name,
-                    "speculative_batches": batches,
-                    "speculative_rechecks": rechecks},
+        parameters=parameters,
     )
 
 

@@ -381,6 +381,23 @@ class TestShardedMaintenance:
                 == serial_record.report.worst_stretch)
 
 
+class TestTieredOracleMaintenance:
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_tiered_repair_is_byte_identical_to_exact(self, fault_model):
+        """Repair sweeps re-ask the oracle about dirty candidates; the tiered
+        screens must leave every re-admission decision (and witness)
+        unchanged across a whole churn journal."""
+        graph = generators.gnm(20, 64, rng=10, connected=True, weighted=True)
+        journal = random_journal(graph, 30, rng=17)
+        exact = DynamicSpanner(graph.copy(), _spec(fault_model=fault_model))
+        exact.apply_journal(journal)
+        tiered = DynamicSpanner(
+            graph.copy(), _spec(fault_model=fault_model, oracle="tiered"))
+        tiered.apply_journal(journal)
+        assert list(tiered.spanner.edges()) == list(exact.spanner.edges())
+        assert tiered.witnesses == exact.witnesses
+
+
 # --------------------------------------------------------------------------
 # LiveEngine
 # --------------------------------------------------------------------------

@@ -9,10 +9,14 @@ from repro.graph import generators
 from repro.graph.core import Graph
 from repro.paths.dijkstra import bounded_distance
 from repro.spanners.fault_check import (
+    SCREEN_RESOLVED_OUTCOMES,
     BranchAndBoundOracle,
     ExhaustiveOracle,
     FaultCheckOracle,
     GreedyPathPackingOracle,
+    TieredOracle,
+    available_oracles,
+    describe_oracles,
     get_oracle,
 )
 
@@ -148,6 +152,87 @@ class TestOracleAgreement:
                 graph, source, target, 3.0, 1, "vertex")
             if exact_answer is None:
                 assert heuristic_answer is None
+
+
+class TestTieredOracle:
+    """Screens may answer early but never differently: every tiered verdict
+    — and every returned witness — must equal the branch-and-bound answer,
+    query for query, across fault models, budgets, and query order (the
+    warm SSSP cache and witness replay make the oracle stateful)."""
+
+    def test_resolution_and_description(self):
+        assert isinstance(get_oracle("tiered"), TieredOracle)
+        assert TieredOracle.exact
+        assert "tiered" in available_oracles()
+        rows = {row["name"]: row for row in describe_oracles()}
+        assert rows["tiered"]["exact"] is True
+
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    @pytest.mark.parametrize("max_faults", [0, 1, 2])
+    def test_matches_branch_and_bound_witness_for_witness(self, fault_model,
+                                                          max_faults):
+        graph = generators.gnm(14, 42, rng=7, connected=True, weighted=True)
+        tiered = TieredOracle()
+        bnb = BranchAndBoundOracle()
+        # Repeated sources back-to-back hit the warm SSSP cache and witness
+        # replay; source changes exercise their invalidation.
+        pairs = [(0, 8), (0, 11), (0, 5), (3, 9), (3, 12), (6, 2), (6, 13)]
+        for budget in (2.0, 4.0):
+            for source, target in pairs:
+                a = tiered.find_breaking_fault_set(
+                    graph, source, target, budget, max_faults, fault_model)
+                b = bnb.find_breaking_fault_set(
+                    graph, source, target, budget, max_faults, fault_model)
+                assert a == b, (source, target, budget)
+                if a is not None:
+                    assert _witness_is_valid(graph, source, target, budget,
+                                             max_faults, fault_model, a)
+
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_screen_resolved_queries_agree_with_exact(self, fault_model):
+        """Every query the screens answered outright (no exact fallthrough)
+        gets replayed against a fresh exact oracle — the core soundness
+        property: screens reject early or prove safe, never decide anew."""
+        graph = generators.gnm(16, 52, rng=19, connected=True, weighted=True)
+        tiered = TieredOracle()
+        screened = 0
+        for source in range(0, 12, 3):
+            for target in range(1, 16, 2):
+                if source == target:
+                    continue
+                resolved_before = tiered.stats.screen_resolved
+                answer = tiered.find_breaking_fault_set(
+                    graph, source, target, 3.0, 2, fault_model)
+                if tiered.stats.screen_resolved == resolved_before:
+                    continue  # fell through: covered by the matrix test
+                screened += 1
+                exact = BranchAndBoundOracle().find_breaking_fault_set(
+                    graph, source, target, 3.0, 2, fault_model)
+                assert answer == exact, (source, target)
+        assert screened > 0, "workload never exercised a screen"
+
+    def test_stats_reconcile_per_query(self):
+        graph = generators.gnm(12, 30, rng=3, connected=True, weighted=True)
+        tiered = TieredOracle()
+        for source, target in [(0, 6), (0, 9), (1, 8), (2, 11), (2, 4)]:
+            tiered.find_breaking_fault_set(graph, source, target, 3.0, 2,
+                                           "vertex")
+        stats = tiered.stats
+        outcomes = stats.screen_outcomes
+        assert set(outcomes) <= set(SCREEN_RESOLVED_OUTCOMES) | {"fallthrough"}
+        assert stats.screen_checks == stats.queries == 5
+        assert stats.screen_resolved + outcomes.get("fallthrough", 0) == 5
+        assert stats.exact_checks == outcomes.get("fallthrough", 0)
+
+    def test_hit_rate_histogram_observes_resolved_fraction(self):
+        graph = generators.gnm(12, 30, rng=3, connected=True, weighted=True)
+        tiered = TieredOracle()
+        for source, target in [(0, 6), (1, 8), (2, 11)]:
+            tiered.find_breaking_fault_set(graph, source, target, 3.0, 1,
+                                           "edge")
+        rate = tiered.stats.observe_screen_hit_rate()
+        assert rate is not None
+        assert rate == tiered.stats.screen_resolved / tiered.stats.queries
 
 
 class TestStats:

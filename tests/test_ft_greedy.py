@@ -180,6 +180,64 @@ class TestOracleVariants:
         assert result.construction_seconds >= 0.0
 
 
+class TestTieredOracleBuilds:
+    """The tiered oracle must build byte-identical spanners: same edges AND
+    the same canonical witness fault sets, serially and under the parallel
+    driver — screens never change a decision, only skip exact work."""
+
+    @staticmethod
+    def _fields(result):
+        return (sorted(result.spanner.edges(), key=repr),
+                result.witness_fault_sets)
+
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    @pytest.mark.parametrize("max_faults", [1, 2])
+    def test_serial_identical_to_exact(self, medium_random, fault_model,
+                                       max_faults):
+        exact = ft_greedy_spanner(medium_random, 3, max_faults,
+                                  fault_model=fault_model)
+        tiered = ft_greedy_spanner(medium_random, 3, max_faults,
+                                   fault_model=fault_model, oracle="tiered")
+        assert self._fields(tiered) == self._fields(exact)
+        assert tiered.parameters["oracle_exact"] is True
+        assert 0.0 <= tiered.parameters["screen_hit_rate"] <= 1.0
+        outcomes = tiered.parameters["screen_outcomes"]
+        assert sum(outcomes.values()) == tiered.oracle_queries
+
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_parallel_identical_to_serial(self, small_weighted_random,
+                                          fault_model):
+        serial = ft_greedy_spanner(small_weighted_random, 3, 2,
+                                   fault_model=fault_model, oracle="tiered")
+        pooled = ft_greedy_spanner(small_weighted_random, 3, 2,
+                                   fault_model=fault_model, oracle="tiered",
+                                   workers=4)
+        assert self._fields(pooled) == self._fields(serial)
+        assert 0.0 <= pooled.parameters["screen_hit_rate"] <= 1.0
+
+    def test_parallel_counters_reconcile_with_registry(self, small_random):
+        """Worker screen outcomes ship home as flat labeled counters; after
+        the build the process registry must account one screen decision per
+        oracle query — the parallel half of the OracleStats invariant."""
+        from repro.obs.metrics import get_registry
+        from repro.spanners.fault_check import TieredOracle
+
+        registry = get_registry()
+        before = registry.counters(include_sources=True)
+        # Hold the oracle: its counters live on a component registry that is
+        # attached weakly to the process default and dies with the instance.
+        oracle = TieredOracle()
+        result = ft_greedy_spanner(small_random, 3, 1, fault_model="vertex",
+                                   oracle=oracle, workers=2)
+        delta = registry.counters_delta(before, include_sources=True)
+        screens = sum(amount for name, amount in delta.items()
+                      if name.startswith("oracle.screen{"))
+        exact = delta.get("oracle.exact", 0)
+        fallthroughs = delta.get('oracle.screen{outcome="fallthrough"}', 0)
+        assert screens == delta.get("oracle.queries", 0) == result.oracle_queries
+        assert exact == fallthroughs
+
+
 class TestConvenienceWrappers:
     def test_vft_wrapper(self, small_random):
         assert vft_greedy_spanner(small_random, 3, 1).fault_model == "vertex"
