@@ -1,0 +1,201 @@
+"""Serving-daemon smoke: the whole subsystem end-to-end, as a subprocess.
+
+This is the CI gate for the persistent serving daemon: it builds a small
+ft-greedy snapshot fixture, starts ``repro-spanner daemon`` on it as a real
+subprocess (ephemeral port, coalescing window armed), and drives every
+serving surface once:
+
+* concurrent HTTP clients fan out distance queries whose answers must be
+  byte-identical to a local reference engine built from the same fixture;
+* a WebSocket session answers a streamed query;
+* ``/v1/update`` applies a spanner-edge deletion through the live write
+  path (mirrored onto the reference engine; post-update answers must match
+  again) and advances the journal offset;
+* ``/health`` reports the lineage (writable, journal offset, algorithm);
+* ``/metrics`` serves every required ``repro_serve_*`` family plus the
+  engine families through the shared Prometheus exporter;
+* SIGTERM drains gracefully: exit code 0 and the drained-cleanly banner.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_daemon.py
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.build import BuildSession, BuildSpec  # noqa: E402
+from repro.dynamic import EdgeDelete, LiveEngine  # noqa: E402
+from repro.graph import generators  # noqa: E402
+from repro.serve.client import DaemonClient  # noqa: E402
+
+#: Metric families /metrics must expose once the daemon has served traffic.
+REQUIRED_FAMILIES = (
+    "repro_serve_requests",
+    "repro_serve_request_seconds",
+    "repro_serve_queue_depth",
+    "repro_serve_connections",
+    "repro_serve_coalesce_batches",
+    "repro_serve_coalesce_requests",
+    "repro_serve_coalesce_occupancy",
+    "repro_serve_coalesce_wait_seconds",
+    "repro_serve_updates_applied",
+    "repro_engine_queries_served",
+)
+
+CLIENTS = 4
+
+
+def _fixture(tmp: str):
+    """A snapshot file (with original graph) plus a matching local engine."""
+    graph = generators.gnm(26, 70, rng=9, connected=True, weighted=True)
+    spec = BuildSpec(algorithm="ft-greedy", stretch=3, max_faults=1)
+    path = os.path.join(tmp, "fixture_snapshot.json")
+    BuildSession(graph, spec).save_snapshot(path)
+    reference = LiveEngine(BuildSession(graph, spec).dynamic())
+    return path, reference
+
+
+def _query_plan(nodes):
+    plan = []
+    for i in range(16):
+        source = nodes[(5 * i) % len(nodes)]
+        target = nodes[(7 * i + 3) % len(nodes)]
+        fault = nodes[(11 * i + 1) % len(nodes)]
+        faults = (fault,) if fault not in (source, target) else ()
+        if source != target:
+            plan.append((source, target, faults))
+    return plan
+
+
+def _start_daemon(snapshot_path: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "daemon", snapshot_path,
+         "--port", "0", "--window-ms", "3"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    host = port = None
+    for line in process.stdout:
+        if line.startswith("daemon listening on http://"):
+            address = line.rsplit("http://", 1)[1].strip()
+            host, port_text = address.rsplit(":", 1)
+            port = int(port_text)
+            break
+    if host is None:
+        process.kill()
+        raise AssertionError("daemon never printed its listening address")
+    # Keep draining stdout so the pipe can never fill and stall the daemon.
+    tail = []
+    drainer = threading.Thread(
+        target=lambda: tail.extend(process.stdout), daemon=True)
+    drainer.start()
+    return process, host, port, tail, drainer
+
+
+def _fan_out(host: str, port: int, plan):
+    """Concurrent keep-alive clients, one shard each; answers by query."""
+    answers = {}
+    barrier = threading.Barrier(CLIENTS)
+
+    def worker(shard):
+        with DaemonClient(host, port) as client:
+            barrier.wait()
+            for source, target, faults in shard:
+                answers[(source, target, faults)] = client.distance(
+                    source, target, faults)
+
+    threads = [threading.Thread(target=worker, args=(plan[i::CLIENTS],))
+               for i in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    return answers
+
+
+def _check_identity(reference, plan, answers, label: str):
+    expected = reference.distances_batch(plan)
+    for (source, target, faults), want in zip(plan, expected):
+        got = answers[(source, target, faults)]
+        assert got == want, (
+            f"{label}: daemon answered {got} for "
+            f"({source}, {target}, {faults}), reference says {want}")
+    print(f"{label}: {len(plan)} answers across {CLIENTS} concurrent "
+          f"clients identical to the reference engine")
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="repro-daemon-smoke-")
+    snapshot_path, reference = _fixture(tmp)
+    process, host, port, tail, drainer = _start_daemon(snapshot_path)
+    try:
+        nodes = sorted(reference.snapshot.spanner.nodes())
+        plan = _query_plan(nodes)
+        client = DaemonClient(host, port)
+
+        _check_identity(reference, plan, _fan_out(host, port, plan),
+                        "HTTP fan-out (pre-update)")
+
+        with client.session() as session:
+            source, target, faults = plan[0]
+            streamed = session.distance(source, target, faults)
+        assert streamed == reference.distance(source, target, faults)
+        print("WebSocket session: streamed answer identical")
+
+        edge = next(iter(sorted(reference.dynamic.spanner.edge_keys(),
+                                key=repr)))
+        report = client.update([EdgeDelete(*edge)])
+        assert report["applied"] == 1, report
+        assert report["journal_offset"] == 1, report
+        reference.apply(EdgeDelete(*edge))
+        print(f"update: deleted spanner edge {edge}, "
+              f"journal offset {report['journal_offset']}")
+
+        _check_identity(reference, plan, _fan_out(host, port, plan),
+                        "HTTP fan-out (post-update)")
+
+        health = client.health()
+        assert health["status"] == "ok", health
+        engine_info = health["engine"]
+        assert engine_info["writable"] is True, engine_info
+        assert engine_info["journal_offset"] == 1, engine_info
+        assert engine_info["snapshot"]["algorithm"] == "ft-greedy[dynamic]"
+        print("health: ok, writable, lineage reported")
+
+        metrics = client.metrics_text()
+        missing = [family for family in REQUIRED_FAMILIES
+                   if family not in metrics]
+        assert not missing, f"/metrics is missing families: {missing}"
+        print(f"metrics: all {len(REQUIRED_FAMILIES)} required families "
+              "present")
+        client.close()
+    except BaseException:
+        process.kill()
+        process.wait(timeout=10)
+        raise
+
+    process.send_signal(signal.SIGTERM)
+    returncode = process.wait(timeout=30)
+    drainer.join(timeout=10)
+    assert returncode == 0, (
+        f"daemon exited {returncode} on SIGTERM; tail: {tail[-5:]}")
+    assert any("daemon drained cleanly" in line for line in tail), tail[-5:]
+    print("SIGTERM: drained cleanly, exit code 0")
+    print("daemon smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

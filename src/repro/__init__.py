@@ -30,73 +30,105 @@ The public API re-exported here is the stable surface; subpackages
 :mod:`repro.experiments`) expose the full machinery.
 """
 
-from repro.graph import Graph, generators
-from repro.graph.convert import from_networkx, to_networkx
-from repro.build import (
-    AlgorithmCapabilities,
-    BuildError,
-    BuildSession,
-    BuildSpec,
-    available_algorithms,
-    build,
-    get_algorithm,
-    register_algorithm,
-)
-from repro.spanners import (
-    SpannerResult,
-    greedy_spanner,
-    ft_greedy_spanner,
-    is_spanner,
-    is_ft_spanner,
-    stretch_of,
-    extract_blocking_set,
-    is_blocking_set,
-    lemma4_subsample,
-)
-from repro.spanners.ft_greedy import vft_greedy_spanner, eft_greedy_spanner
-from repro.baselines import (
-    trivial_spanner,
-    peeling_union_spanner,
-    sampling_union_spanner,
-)
-from repro.bounds import (
-    moore_bound,
-    theorem1_bound,
-    corollary2_bound,
-    bdpw_lower_bound_instance,
-)
-from repro.faults import VERTEX_FAULTS, EDGE_FAULTS, get_fault_model
-from repro.engine import QueryEngine, SpannerSnapshot
-from repro.dynamic import (
-    DynamicSpanner,
-    EdgeDelete,
-    EdgeInsert,
-    LiveEngine,
-    UpdateJournal,
-    WeightChange,
-    random_journal,
-)
-from repro.runtime import (
-    ExecutionBackend,
-    ProcessPoolBackend,
-    SerialBackend,
-    get_backend,
-)
-from repro.paths import (
-    KernelBackend,
-    describe_kernel_backends,
-    get_kernels,
-    kernel_backend_names,
-)
-from repro.obs import (
-    MetricsRegistry,
-    SpanTracer,
-    get_registry,
-    get_tracer,
-    render_prometheus,
-)
+import importlib
+import sys as _sys
+import types as _types
 
-__version__ = "1.6.0"
+
+class _ReproModule(_types.ModuleType):
+    """Keep ``repro.build`` bound to the build *function* (the documented
+    API) even after the import system rebinds the attribute to the
+    ``repro.build`` submodule — which it does whenever the subpackage is
+    imported as a side effect of resolving another lazy export."""
+
+    def __setattr__(self, name, value):
+        if name == "build" and isinstance(value, _types.ModuleType):
+            value = value.build
+        super().__setattr__(name, value)
+
+
+_sys.modules[__name__].__class__ = _ReproModule
+
+# The public surface resolves lazily (PEP 562): ``import repro`` stays cheap
+# and — critically for the serving subsystem — transport-only consumers
+# (``repro.serve.protocol``, the daemon, the thin client) can import their
+# submodules without dragging in the query engine or numpy.  ``from repro
+# import X`` and ``repro.X`` behave exactly as the former eager imports did.
+_EXPORTS = {
+    "Graph": "repro.graph",
+    "generators": "repro.graph",
+    "from_networkx": "repro.graph.convert",
+    "to_networkx": "repro.graph.convert",
+    "AlgorithmCapabilities": "repro.build",
+    "BuildError": "repro.build",
+    "BuildSession": "repro.build",
+    "BuildSpec": "repro.build",
+    "available_algorithms": "repro.build",
+    "build": "repro.build",
+    "get_algorithm": "repro.build",
+    "register_algorithm": "repro.build",
+    "SpannerResult": "repro.spanners",
+    "greedy_spanner": "repro.spanners",
+    "ft_greedy_spanner": "repro.spanners",
+    "is_spanner": "repro.spanners",
+    "is_ft_spanner": "repro.spanners",
+    "stretch_of": "repro.spanners",
+    "extract_blocking_set": "repro.spanners",
+    "is_blocking_set": "repro.spanners",
+    "lemma4_subsample": "repro.spanners",
+    "vft_greedy_spanner": "repro.spanners.ft_greedy",
+    "eft_greedy_spanner": "repro.spanners.ft_greedy",
+    "trivial_spanner": "repro.baselines",
+    "peeling_union_spanner": "repro.baselines",
+    "sampling_union_spanner": "repro.baselines",
+    "moore_bound": "repro.bounds",
+    "theorem1_bound": "repro.bounds",
+    "corollary2_bound": "repro.bounds",
+    "bdpw_lower_bound_instance": "repro.bounds",
+    "VERTEX_FAULTS": "repro.faults",
+    "EDGE_FAULTS": "repro.faults",
+    "get_fault_model": "repro.faults",
+    "QueryEngine": "repro.engine",
+    "SpannerSnapshot": "repro.engine",
+    "DynamicSpanner": "repro.dynamic",
+    "EdgeDelete": "repro.dynamic",
+    "EdgeInsert": "repro.dynamic",
+    "LiveEngine": "repro.dynamic",
+    "UpdateJournal": "repro.dynamic",
+    "WeightChange": "repro.dynamic",
+    "random_journal": "repro.dynamic",
+    "ExecutionBackend": "repro.runtime",
+    "ProcessPoolBackend": "repro.runtime",
+    "SerialBackend": "repro.runtime",
+    "get_backend": "repro.runtime",
+    "KernelBackend": "repro.paths",
+    "describe_kernel_backends": "repro.paths",
+    "get_kernels": "repro.paths",
+    "kernel_backend_names": "repro.paths",
+    "MetricsRegistry": "repro.obs",
+    "SpanTracer": "repro.obs",
+    "get_registry": "repro.obs",
+    "get_tracer": "repro.obs",
+    "render_prometheus": "repro.obs",
+    "ServingDaemon": "repro.serve",
+    "CoalescingWindow": "repro.serve",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__version__ = "1.8.0"
 
 __all__ = [
     "Graph",
@@ -154,5 +186,7 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "render_prometheus",
+    "ServingDaemon",
+    "CoalescingWindow",
     "__version__",
 ]

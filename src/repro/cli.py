@@ -16,6 +16,10 @@ Installed as ``repro-spanner`` (see ``pyproject.toml``) and runnable as
 * ``serve``       — load (or build) a spanner snapshot and replay a synthetic
   query workload through the batched query engine, reporting throughput and
   cache statistics;
+* ``daemon``      — run the persistent serving daemon (:mod:`repro.serve`):
+  an asyncio HTTP + WebSocket API over the snapshot with cross-client batch
+  coalescing, live ``/v1/update`` ingestion when the snapshot carries its
+  original graph, and ``/health`` + ``/metrics`` endpoints;
 * ``query``       — answer a single fault-tolerant distance query against a
   snapshot or graph file;
 * ``update``      — apply an update journal to a snapshot through the
@@ -62,7 +66,7 @@ from repro.build import (
     available_algorithms,
     get_algorithm,
 )
-from repro.engine.engine import EngineError, QueryEngine
+from repro.engine.engine import QueryEngine
 from repro.engine.snapshot import SpannerSnapshot
 from repro.engine.workload import (
     fault_churn_sessions,
@@ -83,6 +87,11 @@ from repro.obs.export import (
 from repro.obs.metrics import get_registry
 from repro.obs.trace import TRACE_ENV_VAR, get_tracer
 from repro.graph.products import relabel_product_nodes
+from repro.serve.protocol import (
+    RequestError,
+    dispatch_sync,
+    from_wire_distance,
+)
 from repro.spanners.verify import STRETCH_TOLERANCE, is_ft_spanner, stretch_of
 from repro.utils.logging import configure_cli_logging, get_logger
 from repro.utils.tables import Table
@@ -295,6 +304,31 @@ def _resolve_snapshot(args: argparse.Namespace) -> SpannerSnapshot:
     return BuildSession(graph, spec_from_args(args)).snapshot()
 
 
+def _engine_core(engine, **kwargs):
+    """An :class:`repro.serve.core.EngineCore` over ``engine`` (lazy import).
+
+    The protocol core shared with the daemon: the one-shot ``serve`` /
+    ``query`` verbs dispatch through it with a zero-width coalescing window,
+    so their request parsing and report shapes are literally the daemon's.
+    """
+    from repro.serve.core import EngineCore
+
+    return EngineCore(engine, **kwargs)
+
+
+def _wire_query(query) -> list:
+    """One workload query (``Query`` object or triple) in wire form."""
+    if hasattr(query, "source"):
+        source, target = query.source, query.target
+        faults = getattr(query, "faults", ())
+    else:
+        source, target, *rest = query
+        faults = rest[0] if rest else ()
+    return [source, target,
+            [list(fault) if isinstance(fault, tuple) else fault
+             for fault in faults]]
+
+
 def _parse_fault_spec(spec: str, fault_model: str) -> tuple:
     """Parse ``--faults``: comma-separated nodes, or ``u:v`` pairs for edges."""
     if not spec:
@@ -341,14 +375,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                        per_session, max_faults=query_faults,
                                        fault_model=snapshot.fault_model,
                                        rng=args.seed)
+    # The workload replays through the daemon's own request-schema/dispatch
+    # code (a degenerate zero-width coalescing window), so the one-shot
+    # surface and the persistent daemon cannot drift apart.
+    core = _engine_core(engine, window_seconds=0.0)
     started = time.perf_counter()
     reachable = 0
     for batch in split_batches(queries, args.batch_size):
-        for distance in engine.distances_batch(batch):
-            if not math.isinf(distance):
-                reachable += 1
+        document = dispatch_sync(
+            core, "distances_batch", {"queries": [_wire_query(q) for q in batch]})
+        reachable += sum(1 for value in document["distances"]
+                         if value is not None)
     elapsed = time.perf_counter() - started
-    stats = engine.stats()
+    stats = core.stats()
     report = {
         "workload": {"shape": args.workload, "queries": len(queries),
                      "batch_size": args.batch_size,
@@ -380,52 +419,110 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _daemon_core(args: argparse.Namespace, snapshot: SpannerSnapshot):
+    """The protocol core the daemon serves: live when possible, else frozen.
+
+    A snapshot carrying its original graph resumes incremental maintenance
+    (:class:`~repro.dynamic.live.LiveEngine` behind the core's write path,
+    ``/v1/update`` enabled); one without serves read-only through a plain
+    :class:`QueryEngine` and answers 409 on updates.
+    """
+    from repro.serve.core import EngineCore
+
+    window_seconds = max(0.0, args.window_ms) / 1000.0
+    if snapshot.original is not None:
+        from repro.dynamic.live import LiveEngine
+        from repro.dynamic.maintain import DynamicSpanner
+
+        spec = _maintainer_spec(args, snapshot)
+        maintainer = DynamicSpanner.from_snapshot(snapshot, spec=spec)
+        engine = LiveEngine(maintainer, cache_size=args.cache_size)
+    else:
+        engine = QueryEngine(snapshot, cache_size=args.cache_size,
+                             kernel=args.kernel)
+    return EngineCore(engine, window_seconds=window_seconds,
+                      max_batch=args.max_batch)
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.daemon import ServingDaemon
+
+    if not SpannerSnapshot.is_snapshot_file(args.input):
+        # Graph-file input: no recorded spec to reconcile against, so the
+        # sentinels resolve to the shared defaults before the build.
+        _resolve_spec_sentinels(args)
+    snapshot = _resolve_snapshot(args)
+    core = _daemon_core(args, snapshot)
+    daemon = ServingDaemon(core, host=args.host, port=args.port,
+                           queue_limit=args.queue_limit,
+                           drain_grace_seconds=args.drain_grace)
+
+    async def _serve() -> None:
+        await daemon.start()
+        info = snapshot.describe()
+        mode = ("live, /v1/update enabled" if core.writable
+                else "frozen snapshot, read-only")
+        # The "listening" line is the startup contract: smoke tests and
+        # process supervisors parse it to learn the bound (ephemeral) port.
+        print(f"daemon listening on http://{daemon.host}:{daemon.port}",
+              flush=True)
+        print(f"serving: {info['algorithm']} k={info['stretch']} "
+              f"f={info['max_faults']} ({info['fault_model']}) "
+              f"n={info['nodes']} m={info['edges']} [{mode}]; "
+              f"coalescing window {args.window_ms:g}ms "
+              f"(max batch {args.max_batch}), "
+              f"queue limit {args.queue_limit}", flush=True)
+        await daemon.run()
+
+    asyncio.run(_serve())
+    print("daemon drained cleanly")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     snapshot = _resolve_snapshot(args)
     engine = QueryEngine(snapshot, cache_size=0, kernel=args.kernel)
+    core = _engine_core(engine, window_seconds=0.0)
     source = parse_node(args.source)
     target = parse_node(args.target)
     faults = _parse_fault_spec(args.faults_spec, snapshot.fault_model)
-    distance = engine.distance(source, target, faults)
+    # Both answers come through the daemon's verb dispatch, so the JSON
+    # shapes here are exactly the /v1/distance and /v1/stretch_audit bodies.
+    payload = {"source": source, "target": target,
+               "faults": [list(f) if isinstance(f, tuple) else f
+                          for f in faults]}
+    document = dispatch_sync(core, "distance", payload)
+    distance = from_wire_distance(document["distance"])
     audit = None
     if args.audit:
         try:
-            audit = engine.stretch_audit(source, target, faults)
-        except EngineError as error:
+            audit = dispatch_sync(core, "stretch_audit", payload)["audit"]
+        except RequestError as error:
             _LOGGER.error("%s", error)
             return 2
     if args.json:
-        document = {
-            "source": source, "target": target,
-            "faults": [list(f) if isinstance(f, tuple) else f for f in faults],
-            "fault_model": snapshot.fault_model,
-            "distance": None if math.isinf(distance) else distance,
-            "reachable": not math.isinf(distance),
-        }
+        document["fault_model"] = snapshot.fault_model
         if audit is not None:
-            document["audit"] = {
-                "original_distance": (None if math.isinf(audit.original_distance)
-                                      else audit.original_distance),
-                "stretch": audit.stretch,
-                "required_stretch": audit.required_stretch,
-                "within_budget": audit.within_budget,
-                "ok": audit.ok,
-            }
+            document["audit"] = audit
         print(json.dumps(document, indent=2))
         if audit is not None:
-            return 0 if audit.ok else 1
+            return 0 if audit["ok"] else 1
     else:
         shown = "unreachable" if math.isinf(distance) else f"{distance:.6g}"
         print(f"dist_{{H \\ F}}({source}, {target}) = {shown} "
               f"({len(faults)} {snapshot.fault_model} fault(s))")
         if audit is not None:
-            base = ("unreachable" if math.isinf(audit.original_distance)
-                    else f"{audit.original_distance:.6g}")
-            print(f"original: {base}; stretch {audit.stretch:.4f} "
-                  f"(required <= {audit.required_stretch}"
-                  f"{'' if audit.within_budget else ', fault set over budget'}) "
-                  f"-> {'OK' if audit.ok else 'VIOLATED'}")
-            return 0 if audit.ok else 1
+            original = from_wire_distance(audit["original_distance"])
+            base = ("unreachable" if math.isinf(original)
+                    else f"{original:.6g}")
+            print(f"original: {base}; "
+                  f"stretch {from_wire_distance(audit['stretch']):.4f} "
+                  f"(required <= {audit['required_stretch']}"
+                  f"{'' if audit['within_budget'] else ', fault set over budget'}) "
+                  f"-> {'OK' if audit['ok'] else 'VIOLATED'}")
+            return 0 if audit["ok"] else 1
     return 0
 
 
@@ -813,6 +910,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the serving report as JSON")
     add_obs_options(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    daemon = sub.add_parser(
+        "daemon",
+        help="run the persistent serving daemon (HTTP + WebSocket API over "
+             "the snapshot, with cross-client batch coalescing)")
+    daemon.add_argument("input",
+                        help="snapshot JSON, or a graph file to build from")
+    add_spec_options(daemon)
+    # Same unset-sentinels as the update verb: a snapshot's recorded build
+    # spec wins, and explicitly conflicting construction flags are an error
+    # (see _maintainer_spec).
+    daemon.set_defaults(algorithm=None, stretch=None, faults=None,
+                        oracle=None, workers=None, backend=None, param=None)
+    daemon.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback only)")
+    daemon.add_argument("--port", type=int, default=8350,
+                        help="TCP port; 0 picks an ephemeral port (printed "
+                             "on the 'listening' line)")
+    daemon.add_argument("--window-ms", type=float, default=2.0,
+                        help="cross-client coalescing window in milliseconds; "
+                             "0 disables coalescing (answers are identical "
+                             "either way)")
+    daemon.add_argument("--max-batch", type=int, default=512,
+                        help="flush the window early once this many queries "
+                             "are pending")
+    daemon.add_argument("--queue-limit", type=int, default=256,
+                        help="max in-flight requests before new ones are "
+                             "answered 429")
+    daemon.add_argument("--drain-grace", type=float, default=10.0,
+                        help="seconds SIGTERM waits for in-flight work "
+                             "before force-closing connections")
+    daemon.add_argument("--cache-size", type=int, default=256,
+                        help="LRU capacity in (source, faults) vectors; "
+                             "0 disables")
+    add_obs_options(daemon)
+    daemon.set_defaults(func=_cmd_daemon)
 
     query = sub.add_parser(
         "query", help="answer one fault-tolerant distance query")

@@ -41,16 +41,6 @@ from repro.dynamic.updates import (
     update_from_json,
     update_to_json,
 )
-from repro.dynamic.repair import (
-    CertificationRecord,
-    DirtyRegion,
-    all_rejected_candidates,
-    certify,
-    dirty_candidates,
-)
-from repro.dynamic.maintain import DynamicSpanner, UpdateOutcome
-from repro.dynamic.live import LiveEngine
-
 __all__ = [
     "JOURNAL_FORMAT",
     "ChurnState",
@@ -72,3 +62,34 @@ __all__ = [
     "UpdateOutcome",
     "LiveEngine",
 ]
+
+
+# The journal layer (repro.dynamic.updates) stays eager — it is pure graph
+# core and what the serving transport parses ops with.  The maintainer and
+# the live engine resolve lazily: they pull in the kernel registry / query
+# engine (and numpy), which journal-only consumers never need.
+_LAZY = {
+    "CertificationRecord": "repro.dynamic.repair",
+    "DirtyRegion": "repro.dynamic.repair",
+    "all_rejected_candidates": "repro.dynamic.repair",
+    "certify": "repro.dynamic.repair",
+    "dirty_candidates": "repro.dynamic.repair",
+    "DynamicSpanner": "repro.dynamic.maintain",
+    "UpdateOutcome": "repro.dynamic.maintain",
+    "LiveEngine": "repro.dynamic.live",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -23,7 +23,19 @@ from repro.faults.enumeration import (
     count_fault_sets,
     sample_fault_sets,
 )
-from repro.faults.adversarial import worst_case_fault_set, stretch_under_faults
+
+# The adversarial-search module pulls in the kernel registry (and numpy);
+# resolve it lazily so fault-model consumers — notably the serving
+# transport, which must import without the engine loaded — stay light.
+_ADVERSARIAL_EXPORTS = ("worst_case_fault_set", "stretch_under_faults")
+
+
+def __getattr__(name):
+    if name in _ADVERSARIAL_EXPORTS:
+        from repro.faults import adversarial
+
+        return getattr(adversarial, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "FaultModel",

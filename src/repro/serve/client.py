@@ -1,0 +1,242 @@
+"""A thin blocking client for the serving daemon.
+
+:class:`DaemonClient` speaks the HTTP verb API over one keep-alive
+``http.client`` connection; :meth:`DaemonClient.session` upgrades a second
+socket to the WebSocket endpoint and returns a :class:`WebSocketSession`
+for streaming query traffic.  Both are stdlib-only and engine-free, so
+benchmark drivers and smoke tests import this module without pulling in
+numpy or the query engine.
+
+Distances come back as Python floats with ``math.inf`` restored from the
+wire's ``null`` (see :func:`repro.serve.protocol.from_wire_distance`), so a
+client-side answer compares bit-identically against a local engine's.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from base64 import b64encode
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.serve.protocol import from_wire_distance, get_verb
+from repro.serve.wire import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    encode_frame,
+    read_frame_sync,
+    websocket_accept_key,
+)
+
+__all__ = ["DaemonClient", "DaemonError", "WebSocketSession"]
+
+
+class DaemonError(Exception):
+    """A non-200 answer from the daemon; carries the HTTP status."""
+
+    def __init__(self, message: str, status: int):
+        super().__init__(message)
+        self.status = status
+
+
+def _query_document(source, target, faults: Sequence = ()) -> Dict[str, Any]:
+    # Tuples (product-graph labels, edge faults) serialize as JSON lists,
+    # which is exactly the wire convention the protocol restores.
+    return {"source": source, "target": target, "faults": list(faults)}
+
+
+def _update_documents(ops: Iterable) -> List[Dict[str, Any]]:
+    from repro.dynamic.updates import UpdateOp, update_to_json
+
+    documents = []
+    for op in ops:
+        documents.append(update_to_json(op) if isinstance(op, UpdateOp)
+                         else dict(op))
+    return documents
+
+
+class DaemonClient:
+    """One keep-alive HTTP connection to a serving daemon."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection = http.client.HTTPConnection(
+            host, port, timeout=timeout)
+
+    # --------------------------------------------------------------- plumbing
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Any:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # The daemon closes connections on drain/wire errors; one clean
+            # reconnect keeps long-lived clients usable across that.
+            self._connection.close()
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        if response.getheader("Connection", "").lower() == "close":
+            self._connection.close()
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            document = json.loads(raw) if raw else {}
+        else:
+            document = raw.decode("utf-8")
+        if response.status != 200:
+            message = (document.get("error", raw.decode("utf-8", "replace"))
+                       if isinstance(document, dict) else str(document))
+            raise DaemonError(message, response.status)
+        return document
+
+    def call(self, verb: str, payload: Optional[Dict[str, Any]] = None
+             ) -> Dict[str, Any]:
+        """POST one verb request (path resolved from the shared registry)."""
+        return self._request("POST", get_verb(verb).path, payload or {})
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- the verbs
+    def distance(self, source, target, faults: Sequence = ()) -> float:
+        document = self.call("distance",
+                             _query_document(source, target, faults))
+        return from_wire_distance(document["distance"])
+
+    def distances_batch(self, queries: Sequence) -> List[float]:
+        payload = {"queries": [
+            _query_document(*query) if not isinstance(query, dict) else query
+            for query in queries]}
+        document = self.call("distances_batch", payload)
+        return [from_wire_distance(value) for value in document["distances"]]
+
+    def connectivity(self, source, target, faults: Sequence = ()) -> bool:
+        document = self.call("connectivity",
+                             _query_document(source, target, faults))
+        return bool(document["connected"])
+
+    def stretch_audit(self, source, target,
+                      faults: Sequence = ()) -> Dict[str, Any]:
+        document = self.call("stretch_audit",
+                             _query_document(source, target, faults))
+        return document["audit"]
+
+    def update(self, ops: Iterable) -> Dict[str, Any]:
+        """Apply journal ops (``UpdateOp`` objects or their JSON dicts)."""
+        return self.call("update", {"updates": _update_documents(ops)})
+
+    # ------------------------------------------------------------ operational
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def index(self) -> Dict[str, Any]:
+        return self._request("GET", "/")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition body from ``/metrics``."""
+        return self._request("GET", "/metrics")
+
+    def session(self) -> "WebSocketSession":
+        """Open a streaming WebSocket query session on a fresh socket."""
+        return WebSocketSession(self.host, self.port, timeout=self.timeout)
+
+
+class WebSocketSession:
+    """A blocking WebSocket session against the daemon's ``/v1/ws``."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        key = b64encode(b"repro-serve-client-0").decode("ascii")
+        handshake = (
+            f"GET /v1/ws HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Upgrade: websocket\r\n"
+            f"Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            f"Sec-WebSocket-Version: 13\r\n\r\n").encode("latin-1")
+        self._sock.sendall(handshake)
+        head = self._read_handshake()
+        if b" 101 " not in head.split(b"\r\n", 1)[0]:
+            raise DaemonError(
+                f"websocket upgrade refused: {head.splitlines()[0]!r}", 400)
+        expected = websocket_accept_key(key).encode("ascii")
+        if expected not in head:
+            raise DaemonError("websocket accept key mismatch", 400)
+        self._next_id = 0
+
+    def _read_handshake(self) -> bytes:
+        head = b""
+        while b"\r\n\r\n" not in head:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise DaemonError("connection closed during upgrade", 400)
+            head += chunk
+        return head
+
+    def send(self, verb: str, payload: Dict[str, Any]) -> int:
+        """Fire one request frame; returns its correlation id."""
+        self._next_id += 1
+        message = {"id": self._next_id, "verb": verb, "payload": payload}
+        frame = encode_frame(json.dumps(message).encode("utf-8"),
+                             OP_TEXT, mask=True)
+        self._sock.sendall(frame)
+        return self._next_id
+
+    def recv(self) -> Dict[str, Any]:
+        """Block for the next response frame (answers ping transparently)."""
+        while True:
+            opcode, payload = read_frame_sync(self._sock)
+            if opcode == OP_PING:
+                self._sock.sendall(encode_frame(payload, OP_PONG, mask=True))
+                continue
+            if opcode == OP_CLOSE:
+                raise DaemonError("session closed by daemon", 503)
+            if opcode == OP_TEXT:
+                return json.loads(payload)
+
+    def ask(self, verb: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip; raises on a non-ok answer."""
+        message_id = self.send(verb, payload)
+        response = self.recv()
+        if response.get("id") != message_id:  # pragma: no cover - pipelining
+            raise DaemonError(
+                f"out-of-order response {response.get('id')!r} "
+                f"to request {message_id}", 500)
+        if not response.get("ok"):
+            raise DaemonError(response.get("error", "request failed"),
+                              int(response.get("status", 500)))
+        return response["result"]
+
+    def distance(self, source, target, faults: Sequence = ()) -> float:
+        result = self.ask("distance", _query_document(source, target, faults))
+        return from_wire_distance(result["distance"])
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(encode_frame(b"", OP_CLOSE, mask=True))
+            self._sock.settimeout(1.0)
+            read_frame_sync(self._sock)  # the daemon echoes the close
+        except Exception:  # noqa: BLE001 - best-effort goodbye
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "WebSocketSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

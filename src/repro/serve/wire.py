@@ -1,0 +1,302 @@
+"""Wire-level transport primitives: HTTP/1.1 parsing and WebSocket frames.
+
+This module is the daemon's entire dependency on the network protocols — a
+minimal, stdlib-only implementation of exactly what the serving daemon
+(:mod:`repro.serve.daemon`) and the thin client (:mod:`repro.serve.client`)
+speak:
+
+* HTTP/1.1 requests with ``Content-Length`` bodies and keep-alive (no
+  chunked transfer, no multipart — the API is small JSON documents);
+* RFC 6455 WebSocket handshake keys and single-fragment frames (text,
+  close, ping/pong), with client-side masking.
+
+Nothing here knows about graphs, engines, or request schemas: the functions
+take readers/sockets and bytes, so the layer is testable against literal
+byte strings and reusable from both the asyncio server and the blocking
+client.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "HttpRequest",
+    "WireError",
+    "read_http_request",
+    "response_bytes",
+    "websocket_accept_key",
+    "encode_frame",
+    "read_frame",
+    "read_frame_sync",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+]
+
+#: Largest request body the daemon accepts (covers big update journals and
+#: query batches; anything larger should be split by the client anyway).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Largest single WebSocket frame either side will accept.
+MAX_FRAME_BYTES = MAX_BODY_BYTES
+
+_STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+# WebSocket opcodes (RFC 6455 §5.2) and the handshake GUID (§1.3).
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+class WireError(Exception):
+    """A malformed HTTP request or WebSocket frame (connection-fatal)."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.header("connection").lower() != "close"
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (self.header("upgrade").lower() == "websocket"
+                and "upgrade" in self.header("connection").lower())
+
+
+# ---------------------------------------------------------------------------
+# HTTP/1.1
+# ---------------------------------------------------------------------------
+
+async def read_http_request(reader, *,
+                            max_body: int = MAX_BODY_BYTES
+                            ) -> Optional[HttpRequest]:
+    """Read one request off an asyncio stream; ``None`` on clean EOF.
+
+    Raises :class:`WireError` on malformed input or an oversized body — the
+    caller should answer 400/413 and close, since framing is lost.
+    """
+    import asyncio
+
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between requests (keep-alive close)
+        raise WireError("truncated HTTP request head") from None
+    except asyncio.LimitOverrunError:
+        raise WireError("HTTP request head too large") from None
+    request = _parse_head(head)
+    length_text = request.header("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise WireError(f"bad Content-Length: {length_text!r}") from None
+    if length < 0 or length > max_body:
+        raise WireError(f"request body of {length} bytes exceeds the "
+                        f"{max_body}-byte limit")
+    if "chunked" in request.header("transfer-encoding").lower():
+        raise WireError("chunked transfer encoding is not supported")
+    if length:
+        try:
+            request.body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise WireError("truncated HTTP request body") from None
+    return request
+
+
+def _parse_head(head: bytes) -> HttpRequest:
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes anything
+        raise WireError("undecodable HTTP request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise WireError(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise WireError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    # The query string is dropped: every API argument travels in the body.
+    path = target.split("?", 1)[0]
+    return HttpRequest(method=method.upper(), path=path, headers=headers)
+
+
+def response_bytes(status: int, body: bytes, *,
+                   content_type: str = "application/json",
+                   keep_alive: bool = True,
+                   extra_headers: Optional[Dict[str, str]] = None) -> bytes:
+    """Serialize one HTTP/1.1 response (always with ``Content-Length``)."""
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+# ---------------------------------------------------------------------------
+# WebSocket (RFC 6455)
+# ---------------------------------------------------------------------------
+
+def websocket_accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's handshake key."""
+    digest = hashlib.sha1((client_key + _WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(payload: bytes, opcode: int = OP_TEXT, *,
+                 mask: bool = False) -> bytes:
+    """One single-fragment frame (FIN set); ``mask=True`` for client→server."""
+    header = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = _xor_mask(payload, key)
+    return bytes(header) + payload
+
+
+def _xor_mask(payload: bytes, key: bytes) -> bytes:
+    # Stretch the 4-byte key across the payload; int.from_bytes-based XOR is
+    # the fastest stdlib-only approach and the payloads are small JSON.
+    if not payload:
+        return payload
+    repeated = (key * (len(payload) // 4 + 1))[:len(payload)]
+    value = int.from_bytes(payload, "big") ^ int.from_bytes(repeated, "big")
+    return value.to_bytes(len(payload), "big")
+
+
+def _decode_frame(header: bytes, read_exact: Callable[[int], bytes]
+                  ) -> Tuple[int, bytes]:
+    """Shared frame-body decoding once the 2-byte header is in hand."""
+    first, second = header[0], header[1]
+    if not first & 0x80:
+        raise WireError("fragmented WebSocket frames are not supported")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    if length == 126:
+        length = struct.unpack(">H", read_exact(2))[0]
+    elif length == 127:
+        length = struct.unpack(">Q", read_exact(8))[0]
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"WebSocket frame of {length} bytes exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte limit")
+    key = read_exact(4) if masked else b""
+    payload = read_exact(length) if length else b""
+    if masked and payload:
+        payload = _xor_mask(payload, key)
+    return opcode, payload
+
+
+async def read_frame(reader) -> Tuple[int, bytes]:
+    """Read one frame off an asyncio stream → ``(opcode, payload)``.
+
+    The two-step read (header, then computed remainder) is pre-buffered
+    into one blob so the length/mask/payload decoding can be shared with the
+    synchronous client path via :func:`_decode_frame`.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(2)
+        extra = 0
+        length = header[1] & 0x7F
+        if length == 126:
+            extra = 2
+        elif length == 127:
+            extra = 8
+        if header[1] & 0x80:
+            extra += 4
+        blob = await reader.readexactly(extra) if extra else b""
+        # Peek the real payload length from the now-complete header blob.
+        cursor = 0
+        if length == 126:
+            length = struct.unpack(">H", blob[:2])[0]
+            cursor = 2
+        elif length == 127:
+            length = struct.unpack(">Q", blob[:8])[0]
+            cursor = 8
+        if length > MAX_FRAME_BYTES:
+            raise WireError(f"WebSocket frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        raise WireError("connection closed mid-frame") from None
+    if not header[0] & 0x80:
+        raise WireError("fragmented WebSocket frames are not supported")
+    opcode = header[0] & 0x0F
+    if header[1] & 0x80:
+        key = blob[cursor:cursor + 4]
+        if payload:
+            payload = _xor_mask(payload, key)
+    return opcode, payload
+
+
+def read_frame_sync(sock) -> Tuple[int, bytes]:
+    """Blocking twin of :func:`read_frame` over a plain socket."""
+    def read_exact(count: int) -> bytes:
+        chunks = b""
+        while len(chunks) < count:
+            chunk = sock.recv(count - len(chunks))
+            if not chunk:
+                raise WireError("connection closed mid-frame")
+            chunks += chunk
+        return chunks
+
+    header = read_exact(2)
+    return _decode_frame(header, read_exact)

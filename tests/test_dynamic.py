@@ -461,6 +461,62 @@ class TestLiveEngine:
         assert stats["queries_served"] == 1
 
 
+class TestInterleavedSessions:
+    """Two client sessions interleaving over one :class:`LiveEngine`.
+
+    The serving daemon multiplexes many connections onto one engine, so the
+    result cache must behave under interleaved traffic: overlapping
+    ``(source, fault-set)`` groups from different clients share one cached
+    vector, an invalidating update flushes it exactly once (attributed to
+    the update, not to either client), and every answer either side of the
+    update equals the dict-reference Dijkstra over the then-current spanner.
+    """
+
+    def _reference(self, spanner, source, target, faults):
+        view = graph_minus(spanner, nodes=faults)
+        return dijkstra_distances(view, source).get(target, math.inf)
+
+    def test_overlapping_groups_across_invalidating_update(self):
+        graph = generators.gnm(20, 55, rng=21, connected=True, weighted=True)
+        live = LiveEngine(BuildSession(graph, _spec()).dynamic())
+        nodes = sorted(graph.nodes())
+        source, fault = nodes[0], nodes[7]
+        # Both clients query the same (source, fault-set) group — the unit
+        # the cache keys on — with different (overlapping) target sets.
+        client_a = [(source, t, (fault,)) for t in nodes[1:6]
+                    if t not in (source, fault)]
+        client_b = [(source, t, (fault,)) for t in nodes[4:9]
+                    if t not in (source, fault)]
+
+        def serve_and_check(queries):
+            answers = live.distances_batch(queries)
+            for (s, t, f), got in zip(queries, answers):
+                assert got == self._reference(live.dynamic.spanner, s, t, f)
+
+        # Interleave: A populates the group vector, B rides it.
+        serve_and_check(client_a)
+        hits_before = live.engine.cache.hits
+        serve_and_check(client_b)
+        assert live.engine.cache.hits == hits_before + 1
+        assert live.cache_invalidations == 0
+
+        # An invalidating update lands between the sessions: deleting a
+        # spanner edge moves H's version, so the shared vector dies — once,
+        # attributed to the update.
+        spanner_edge = next(iter(sorted(live.dynamic.spanner.edge_keys(),
+                                        key=repr)))
+        live.apply(EdgeDelete(*spanner_edge))
+        assert live.cache_invalidations == 1
+        assert len(live.engine.cache) == 0
+
+        # Both clients keep going; answers track the mutated spanner and
+        # the cache rebuilds without further invalidations.
+        serve_and_check(client_b)
+        serve_and_check(client_a)
+        assert live.cache_invalidations == 1
+        assert live.engine.cache.hits > hits_before + 1
+
+
 # --------------------------------------------------------------------------
 # The update_churn workload generator
 # --------------------------------------------------------------------------
